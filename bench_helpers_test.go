@@ -1,0 +1,27 @@
+package dblayout_test
+
+import (
+	"dblayout/internal/benchdb"
+	"dblayout/internal/layout"
+	"dblayout/internal/replay"
+)
+
+// fourDiskSystem builds the paper's homogeneous four-disk system.
+func fourDiskSystem(objects []layout.Object) *replay.System {
+	return &replay.System{
+		Objects: objects,
+		Devices: []replay.DeviceSpec{
+			replay.Disk15K("disk0"), replay.Disk15K("disk1"),
+			replay.Disk15K("disk2"), replay.Disk15K("disk3"),
+		},
+	}
+}
+
+// replayRun replays an OLAP workload and returns the request count.
+func replayRun(sys *replay.System, l *layout.Layout, w *benchdb.OLAPWorkload) (int64, error) {
+	res, err := replay.RunOLAP(sys, l, w, replay.Options{Seed: 1})
+	if err != nil {
+		return 0, err
+	}
+	return res.Requests, nil
+}

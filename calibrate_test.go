@@ -1,0 +1,36 @@
+package dblayout_test
+
+import (
+	"testing"
+
+	"dblayout"
+)
+
+// TestCalibrateBuiltinDevices exercises the public calibration entry points
+// (full grid, so skipped in -short runs) and checks the resulting models
+// have the Fig. 8 qualitative shape.
+func TestCalibrateBuiltinDevices(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid calibration")
+	}
+	disk := dblayout.CalibrateDisk()
+	if err := disk.Valid(); err != nil {
+		t.Fatalf("disk model invalid: %v", err)
+	}
+	seq := disk.Cost(false, 8192, 64, 0)
+	rnd := disk.Cost(false, 8192, 1, 0)
+	if seq >= rnd/4 {
+		t.Errorf("disk: sequential %.3gms not ≪ random %.3gms", seq*1e3, rnd*1e3)
+	}
+	if collapsed := disk.Cost(false, 8192, 64, 4); collapsed < 3*seq {
+		t.Errorf("disk: no interference collapse (%.3gms -> %.3gms)", seq*1e3, collapsed*1e3)
+	}
+
+	ssd := dblayout.CalibrateSSD()
+	if err := ssd.Valid(); err != nil {
+		t.Fatalf("ssd model invalid: %v", err)
+	}
+	if s, r := ssd.Cost(false, 8192, 64, 0), ssd.Cost(false, 8192, 1, 0); s < r*0.8 || s > r*1.2 {
+		t.Errorf("ssd: sequentiality should not matter (%.3g vs %.3g)", s, r)
+	}
+}

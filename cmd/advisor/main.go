@@ -1,0 +1,189 @@
+// Command advisor recommends an optimized database storage layout from a
+// problem description, acting as the standalone layout advisor the paper
+// proposes.
+//
+// Usage:
+//
+//	advisor -problem problem.json [-seed N] [-non-regular] [-utilizations]
+//
+// The problem file describes objects, targets and per-object workloads:
+//
+//	{
+//	  "objects": [
+//	    {"name": "ORDERS", "size_mb": 8192, "kind": "table"},
+//	    {"name": "ORDERS_PK", "size_mb": 1024, "kind": "index"}
+//	  ],
+//	  "targets": [
+//	    {"name": "disk0", "capacity_mb": 102400, "model": "disk15k"},
+//	    {"name": "ssd0", "capacity_mb": 32768, "model": "ssd"}
+//	  ],
+//	  "workloads": {"workloads": [
+//	    {"name": "ORDERS", "read_size": 131072, "read_rate": 300, "run_count": 64},
+//	    {"name": "ORDERS_PK", "read_size": 8192, "read_rate": 150, "run_count": 1}
+//	  ]}
+//	}
+//
+// A target's "model" is either a built-in device type ("disk15k",
+// "disk7200", "ssd"), which is calibrated on first use, or "@file.json", a
+// model previously saved by cmd/calibrate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dblayout"
+	"dblayout/internal/costmodel"
+	"dblayout/internal/layout"
+	"dblayout/internal/storage"
+)
+
+type problemFile struct {
+	Objects []struct {
+		Name   string `json:"name"`
+		SizeMB int64  `json:"size_mb"`
+		Kind   string `json:"kind"`
+	} `json:"objects"`
+	Targets []struct {
+		Name       string `json:"name"`
+		CapacityMB int64  `json:"capacity_mb"`
+		Model      string `json:"model"`
+	} `json:"targets"`
+	Workloads *dblayout.WorkloadSet `json:"workloads"`
+}
+
+func kindOf(s string) (dblayout.ObjectKind, error) {
+	switch strings.ToLower(s) {
+	case "table", "":
+		return dblayout.KindTable, nil
+	case "index":
+		return dblayout.KindIndex, nil
+	case "log":
+		return dblayout.KindLog, nil
+	case "temp":
+		return dblayout.KindTemp, nil
+	}
+	return 0, fmt.Errorf("unknown object kind %q", s)
+}
+
+// modelFor resolves a target's model reference.
+func modelFor(ref string, cache map[string]*costmodel.Model) (*costmodel.Model, error) {
+	if m, ok := cache[ref]; ok {
+		return m, nil
+	}
+	var m *costmodel.Model
+	switch {
+	case strings.HasPrefix(ref, "@"):
+		f, err := os.Open(ref[1:])
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		m, err = costmodel.Load(f)
+		if err != nil {
+			return nil, err
+		}
+	case ref == "disk15k" || ref == "":
+		fmt.Fprintln(os.Stderr, "calibrating disk15k model (one-time)...")
+		m = dblayout.CalibrateDisk()
+	case ref == "disk7200":
+		fmt.Fprintln(os.Stderr, "calibrating disk7200 model (one-time)...")
+		m = costmodel.Calibrate("disk7200", func(e *storage.Engine) storage.Device {
+			return storage.NewDisk(e, "disk", storage.Disk7200Config())
+		}, costmodel.DefaultGrid())
+	case ref == "ssd":
+		fmt.Fprintln(os.Stderr, "calibrating ssd model (one-time)...")
+		m = dblayout.CalibrateSSD()
+	default:
+		return nil, fmt.Errorf("unknown model %q (want disk15k, disk7200, ssd, or @file.json)", ref)
+	}
+	cache[ref] = m
+	return m, nil
+}
+
+func run() error {
+	problemPath := flag.String("problem", "", "problem description JSON (required)")
+	seed := flag.Int64("seed", 1, "solver random seed")
+	nonRegular := flag.Bool("non-regular", false, "skip regularization (solver output may use uneven fractions)")
+	showUtils := flag.Bool("utilizations", false, "also print predicted per-target utilizations")
+	flag.Parse()
+
+	if *problemPath == "" {
+		flag.Usage()
+		return fmt.Errorf("-problem is required")
+	}
+	data, err := os.ReadFile(*problemPath)
+	if err != nil {
+		return err
+	}
+	var pf problemFile
+	if err := json.Unmarshal(data, &pf); err != nil {
+		return fmt.Errorf("parsing %s: %w", *problemPath, err)
+	}
+
+	p := dblayout.Problem{Workloads: pf.Workloads}
+	for _, o := range pf.Objects {
+		kind, err := kindOf(o.Kind)
+		if err != nil {
+			return err
+		}
+		p.Objects = append(p.Objects, dblayout.Object{Name: o.Name, Size: o.SizeMB << 20, Kind: kind})
+	}
+	cache := map[string]*costmodel.Model{}
+	for _, t := range pf.Targets {
+		m, err := modelFor(t.Model, cache)
+		if err != nil {
+			return err
+		}
+		p.Targets = append(p.Targets, &layout.Target{Name: t.Name, Capacity: t.CapacityMB << 20, Model: m})
+	}
+
+	rec, err := dblayout.Recommend(p, dblayout.Options{
+		Seed:               *seed,
+		SkipRegularization: *nonRegular,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("recommended layout (predicted max utilization %.1f%%, SEE %.1f%%):\n\n",
+		100*rec.FinalObjective, 100*seeObjective(p))
+	fmt.Print(dblayout.FormatLayout(p, rec.Final))
+	fmt.Printf("\nsolver time %v, regularization time %v\n", rec.SolveTime, rec.RegularizeTime)
+
+	if *showUtils {
+		utils, err := dblayout.Utilizations(p, rec.Final)
+		if err != nil {
+			return err
+		}
+		fmt.Println("\npredicted target utilizations:")
+		for j, u := range utils {
+			fmt.Printf("  %-12s %6.1f%%\n", p.Targets[j].Name, 100*u)
+		}
+	}
+	return nil
+}
+
+func seeObjective(p dblayout.Problem) float64 {
+	utils, err := dblayout.Utilizations(p, dblayout.SEE(len(p.Objects), len(p.Targets)))
+	if err != nil {
+		return 0
+	}
+	max := 0.0
+	for _, u := range utils {
+		if u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "advisor:", err)
+		os.Exit(1)
+	}
+}

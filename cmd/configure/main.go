@@ -1,0 +1,134 @@
+// Command configure recommends a storage *configuration* in addition to a
+// layout (the paper's Sec. 8 direction toward Minerva/DAD): given a pool of
+// unconfigured disks, it enumerates the ways of grouping them into RAID0
+// targets, runs the layout advisor against each, and prints the candidates
+// ranked by predicted maximum utilization.
+//
+// Usage:
+//
+//	configure -disks 4 [-max-group 3] [-ssd-gb 32] [-workload olap8-63|olap1-63|oltp] [-fast]
+//
+// The workload is estimated from the built-in TPC-H/TPC-C specifications
+// with the storage workload estimator (no tracing required).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dblayout/internal/benchdb"
+	"dblayout/internal/configure"
+	"dblayout/internal/costmodel"
+	"dblayout/internal/estimator"
+	"dblayout/internal/layout"
+	"dblayout/internal/replay"
+	"dblayout/internal/rome"
+)
+
+func run() error {
+	disks := flag.Int("disks", 4, "number of unconfigured disks in the pool")
+	maxGroup := flag.Int("max-group", 0, "maximum RAID0 group size (0 = unbounded)")
+	ssdGB := flag.Int("ssd-gb", 0, "optionally add an SSD of this capacity to every configuration")
+	workload := flag.String("workload", "olap8-63", "workload to configure for: olap1-63, olap8-63, oltp")
+	fast := flag.Bool("fast", false, "coarse calibration grid")
+	seed := flag.Int64("seed", 1, "solver seed")
+	flag.Parse()
+
+	var objects []layout.Object
+	var workloads *rome.Set
+	var err error
+	switch *workload {
+	case "olap1-63":
+		w := benchdb.OLAP163()
+		objects = w.Catalog.Objects
+		workloads, err = estimator.EstimateOLAP(w, estimator.DefaultAssumptions(*disks))
+	case "olap8-63":
+		w := benchdb.OLAP863()
+		objects = w.Catalog.Objects
+		workloads, err = estimator.EstimateOLAP(w, estimator.DefaultAssumptions(*disks))
+	case "oltp":
+		w := benchdb.OLTP()
+		objects = w.Catalog.Objects
+		workloads, err = estimator.EstimateOLTP(w, estimator.DefaultAssumptions(*disks))
+	default:
+		return fmt.Errorf("unknown workload %q", *workload)
+	}
+	if err != nil {
+		return err
+	}
+
+	pool := configure.Pool{Disks: *disks, MaxGroup: *maxGroup}
+	if *ssdGB > 0 {
+		pool.Fixed = append(pool.Fixed, replay.SSD("ssd", int64(*ssdGB)<<30))
+	}
+	grid := costmodel.DefaultGrid()
+	if *fast {
+		grid = costmodel.FastGrid()
+	}
+
+	fmt.Fprintf(os.Stderr, "evaluating configurations of %d disks (this calibrates each group size once)...\n", *disks)
+	cands, err := configure.Best(pool, configure.Options{
+		Objects:   objects,
+		Workloads: workloads,
+		Grid:      grid,
+		Seed:      *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-14s %22s %12s\n", "Grouping", "Predicted max util", "Targets")
+	for _, c := range cands {
+		fmt.Printf("%-14s %21.1f%% %12d\n", fmt.Sprint(c.Grouping), 100*c.Rec.FinalObjective, len(c.Devices))
+	}
+	best := cands[0]
+	fmt.Printf("\nbest configuration %v; recommended layout of the hottest objects:\n", best.Grouping)
+	names := make([]string, len(best.Devices))
+	for j, d := range best.Devices {
+		names[j] = d.Name
+	}
+	printTop(objects, workloads, names, best.Rec.Final, 8)
+	return nil
+}
+
+// printTop prints the hottest objects' rows.
+func printTop(objects []layout.Object, ws *rome.Set, targets []string, l *layout.Layout, top int) {
+	order := make([]int, len(objects))
+	for i := range order {
+		order[i] = i
+	}
+	for a := 0; a < len(order); a++ {
+		for b := a + 1; b < len(order); b++ {
+			if ws.Workloads[order[b]].TotalRate() > ws.Workloads[order[a]].TotalRate() {
+				order[a], order[b] = order[b], order[a]
+			}
+		}
+	}
+	if top < len(order) {
+		order = order[:top]
+	}
+	fmt.Printf("%-18s", "Object")
+	for _, t := range targets {
+		fmt.Printf(" %11s", t)
+	}
+	fmt.Println()
+	for _, i := range order {
+		fmt.Printf("%-18s", objects[i].Name)
+		for j := range targets {
+			if v := l.At(i, j); v > layout.Epsilon {
+				fmt.Printf(" %10.1f%%", 100*v)
+			} else {
+				fmt.Printf(" %11s", ".")
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "configure:", err)
+		os.Exit(1)
+	}
+}

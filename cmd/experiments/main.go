@@ -1,0 +1,138 @@
+// Command experiments reproduces the tables and figures of the paper's
+// evaluation (Sec. 6) end-to-end: it traces the SQL workloads under the SEE
+// baseline on the simulated storage system, fits workload models, calibrates
+// target cost models, runs the layout advisor, and replays the workloads
+// under every layout the paper compares.
+//
+// Usage:
+//
+//	experiments [-run all|fig8|fig11|fig15|fig17|fig18|fig19|fig20] [-quick] [-seed N]
+//
+// fig11 also prints the layout figures (1, 12, 14) and utilization-stage
+// figure (13) derived from the same runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dblayout/internal/experiments"
+)
+
+func main() {
+	which := flag.String("run", "all", "experiment to run: all, fig8, fig11, fig15, fig17, fig18, fig19, fig20, ablation")
+	quick := flag.Bool("quick", false, "reduced scale (coarse calibration, fewer queries)")
+	seed := flag.Int64("seed", 1, "replay and solver seed")
+	flag.Parse()
+
+	cfg := experiments.NewConfig()
+	if *quick {
+		cfg = experiments.NewQuickConfig()
+	}
+	cfg.Seed = *seed
+
+	run := func(name string, fn func() error) {
+		if *which != "all" && *which != name {
+			return
+		}
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", strings.ToUpper(name))
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("fig8", func() error {
+		series, err := experiments.Fig8CostSlice(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.Fig8Table(series))
+		return nil
+	})
+
+	run("fig11", func() error {
+		runs, err := experiments.Homogeneous(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fig. 11 — workload execution times, homogeneous targets:")
+		fmt.Print(experiments.Fig11Table(runs))
+		for _, r := range runs {
+			fmt.Printf("\nFig. 13 — %s\n%s", r.Workload, experiments.Fig13Table(r))
+			fmt.Printf("\nFig. %s — optimized layout (%s), hottest objects:\n%s",
+				map[string]string{"OLAP1-63": "1", "OLAP8-63": "12"}[r.Workload],
+				r.Workload, experiments.LayoutTable(r.Instance, r.Rec.Final, 8))
+			fmt.Printf("\nFig. 14 — solver (non-regular) layout (%s):\n%s",
+				r.Workload, experiments.LayoutTable(r.Instance, r.Rec.Solver, 8))
+		}
+		return nil
+	})
+
+	run("fig15", func() error {
+		res, err := experiments.Consolidation(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fig. 15 — consolidation scenario:")
+		fmt.Print(res.Fig15Table())
+		fmt.Println("\nFig. 16 — consolidated optimized layout, hottest objects:")
+		fmt.Print(res.Fig16Table())
+		return nil
+	})
+
+	run("fig17", func() error {
+		rows, err := experiments.Heterogeneous(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fig. 17 — heterogeneous disk configurations, OLAP8-63:")
+		fmt.Print(experiments.Fig17Table(rows))
+		return nil
+	})
+
+	run("fig18", func() error {
+		rows, err := experiments.SSDStudy(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fig. 18 — four disks plus SSD, OLAP8-63:")
+		fmt.Print(experiments.Fig18Table(rows))
+		return nil
+	})
+
+	run("fig19", func() error {
+		rows, err := experiments.Timing(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fig. 19 — advisor running time vs. problem size:")
+		fmt.Print(experiments.Fig19Table(rows))
+		return nil
+	})
+
+	run("ablation", func() error {
+		rows, err := experiments.Ablation(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation — advisor variants on OLAP1-63, four disks:")
+		fmt.Print(experiments.AblationTable(rows))
+		return nil
+	})
+
+	run("fig20", func() error {
+		res, err := experiments.AutoAdminStudy(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fig. 20 / Sec. 6.6 — AutoAdmin comparison:")
+		fmt.Print(res.Fig20Table())
+		return nil
+	})
+}

@@ -1,0 +1,69 @@
+// Command tracefit fits Rome-style workload descriptions from a block I/O
+// trace, playing the role of the Rubicon trace-characterization tool in the
+// paper's methodology. The output is a workload set consumable by
+// cmd/advisor.
+//
+// Usage:
+//
+//	tracefit -trace trace.jsonl -objects "LINEITEM,ORDERS,..." [-active-rates] [-window 1.0]
+//
+// The trace is JSON lines, one request per line, as written by the storage
+// simulator's trace recorder:
+//
+//	{"t":0.01,"obj":0,"stream":1,"target":"disk0","off":0,"size":131072,"w":false}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dblayout"
+)
+
+func run() error {
+	tracePath := flag.String("trace", "", "trace file, JSON lines (required)")
+	objects := flag.String("objects", "", "comma-separated object names in index order (required)")
+	activeRates := flag.Bool("active-rates", false, "fit rates over active windows instead of whole-trace")
+	window := flag.Float64("window", 1.0, "co-activity window in seconds for overlap estimation")
+	flag.Parse()
+
+	if *tracePath == "" || *objects == "" {
+		flag.Usage()
+		return fmt.Errorf("-trace and -objects are required")
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := dblayout.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+
+	names := strings.Split(*objects, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	set, err := dblayout.FitWorkloads(tr, names, dblayout.FitOptions{
+		WindowSize:  *window,
+		ActiveRates: *activeRates,
+	})
+	if err != nil {
+		return err
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	return enc.Encode(map[string]interface{}{"workloads": set.Workloads})
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracefit:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,87 @@
+// Consolidation: two database instances — a TPC-H reporting database and a
+// TPC-C transaction-processing database — share the same four disks (the
+// paper's Sec. 6.3 scenario). The advisor lays out all forty objects
+// together so the OLAP scans stop destroying the OLTP working set's targets
+// and vice versa.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dblayout/internal/benchdb"
+	"dblayout/internal/core"
+	"dblayout/internal/costmodel"
+	"dblayout/internal/layout"
+	"dblayout/internal/nlp"
+	"dblayout/internal/replay"
+	"dblayout/internal/rubicon"
+)
+
+func main() {
+	olap := benchdb.OLAP121()
+	olap.Queries = olap.Queries[:10] // keep the example brisk
+	oltp := benchdb.OLTP()
+	objects := append(append([]layout.Object{}, olap.Catalog.Objects...), oltp.Catalog.Objects...)
+	sys := &replay.System{
+		Objects: objects,
+		Devices: []replay.DeviceSpec{
+			replay.Disk15K("disk0"), replay.Disk15K("disk1"),
+			replay.Disk15K("disk2"), replay.Disk15K("disk3"),
+		},
+	}
+	names := make([]string, len(objects))
+	for i, o := range objects {
+		names[i] = o.Name
+	}
+
+	fmt.Println("running the consolidated workloads under SEE (tracing)...")
+	see := layout.SEE(len(objects), len(sys.Devices))
+	fitter := rubicon.NewFitter(names, rubicon.Options{})
+	seeOLAP, seeOLTP, err := replay.RunConsolidated(sys, see, olap, oltp, 60,
+		replay.Options{Seed: 1, Tracer: fitter})
+	if err != nil {
+		log.Fatal(err)
+	}
+	workloads, err := fitter.Fit()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("advising...")
+	inst := &layout.Instance{
+		Objects:   objects,
+		Targets:   sys.Targets(costmodel.NewCache(), costmodel.FastGrid()),
+		Workloads: workloads,
+	}
+	if err := inst.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	heuristic, err := layout.InitialLayout(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adv, err := core.New(inst, core.Options{
+		NLP:            nlp.Options{Seed: 1},
+		InitialLayouts: []*layout.Layout{heuristic, see},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := adv.Recommend()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	optOLAP, optOLTP, err := replay.RunConsolidated(sys, rec.Final, olap, oltp, 60,
+		replay.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-12s %14s %14s\n", "", "SEE", "optimized")
+	fmt.Printf("%-12s %11.0f s %11.0f s  (%.2fx)\n", "OLAP",
+		seeOLAP.Elapsed, optOLAP.Elapsed, seeOLAP.Elapsed/optOLAP.Elapsed)
+	fmt.Printf("%-12s %9.0f tpmC %9.0f tpmC  (%.2fx)\n", "OLTP",
+		seeOLTP.TpmC, optOLTP.TpmC, optOLTP.TpmC/seeOLTP.TpmC)
+}

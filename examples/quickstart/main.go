@@ -1,0 +1,77 @@
+// Quickstart: describe a small database and two storage targets, calibrate
+// device models, and ask the advisor for a layout.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dblayout"
+	"dblayout/internal/costmodel"
+	"dblayout/internal/storage"
+)
+
+func main() {
+	// Calibrate cost models for the two device types. In a real
+	// deployment these come from measuring your hardware once and saving
+	// the tables (see cmd/calibrate); here we calibrate the built-in
+	// simulated devices with a coarse grid to keep the example fast.
+	fmt.Println("calibrating device models...")
+	grid := costmodel.FastGrid()
+	disk := costmodel.Calibrate("disk15k", func(e *storage.Engine) storage.Device {
+		return storage.NewDisk(e, "d", storage.Disk15KConfig())
+	}, grid)
+	ssd := costmodel.Calibrate("ssd", func(e *storage.Engine) storage.Device {
+		return storage.NewSSD(e, "s", storage.SSD32Config())
+	}, grid)
+
+	// The database: a big sequentially-scanned fact table, a hot
+	// randomly-probed index, and a temporary spill area. The fact table
+	// and the temp area are active at the same time (spills happen
+	// during scans), which is exactly the interference a workload-aware
+	// layout avoids.
+	p := dblayout.Problem{
+		Objects: []dblayout.Object{
+			{Name: "FACTS", Size: 12 << 30, Kind: dblayout.KindTable},
+			{Name: "FACTS_IDX", Size: 2 << 30, Kind: dblayout.KindIndex},
+			{Name: "TEMP", Size: 4 << 30, Kind: dblayout.KindTemp},
+		},
+		Targets: []*dblayout.Target{
+			{Name: "disk0", Capacity: 18 << 30, Model: disk},
+			{Name: "disk1", Capacity: 18 << 30, Model: disk},
+			{Name: "ssd0", Capacity: 16 << 30, Model: ssd},
+		},
+	}
+	var err error
+	p.Workloads, err = dblayout.NewWorkloadSet(
+		&dblayout.Workload{Name: "FACTS", ReadSize: 131072, ReadRate: 400, RunCount: 128,
+			Overlap: []float64{1, 0.3, 0.8}},
+		&dblayout.Workload{Name: "FACTS_IDX", ReadSize: 8192, ReadRate: 250, RunCount: 1,
+			Overlap: []float64{0.3, 1, 0.2}},
+		&dblayout.Workload{Name: "TEMP", WriteSize: 131072, WriteRate: 150, ReadSize: 131072,
+			ReadRate: 150, RunCount: 64, Overlap: []float64{0.8, 0.2, 1}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rec, err := dblayout.Recommend(p, dblayout.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	seeUtils, _ := dblayout.Utilizations(p, dblayout.SEE(len(p.Objects), len(p.Targets)))
+	fmt.Printf("\nSEE baseline predicted utilizations:    %s\n", fmtUtils(seeUtils))
+	optUtils, _ := dblayout.Utilizations(p, rec.Final)
+	fmt.Printf("recommendation predicted utilizations:  %s\n", fmtUtils(optUtils))
+	fmt.Printf("\nrecommended layout (max utilization %.1f%%):\n\n%s",
+		100*rec.FinalObjective, dblayout.FormatLayout(p, rec.Final))
+}
+
+func fmtUtils(us []float64) string {
+	out := ""
+	for _, u := range us {
+		out += fmt.Sprintf("%6.1f%%", 100*u)
+	}
+	return out
+}

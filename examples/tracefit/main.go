@@ -1,0 +1,79 @@
+// Tracefit: the full trace-driven pipeline on the public API — record a
+// block I/O trace from a running (simulated) system, fit Rome-style workload
+// descriptions from it, and feed them to the advisor. This mirrors how the
+// paper's advisor is deployed against a production database: instrument,
+// trace, fit, advise.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dblayout"
+	"dblayout/internal/costmodel"
+	"dblayout/internal/storage"
+)
+
+func main() {
+	// Simulate the "operational system": three objects with distinct
+	// access patterns on one disk, traced at the block level.
+	fmt.Println("tracing the operational system...")
+	eng := storage.NewEngine()
+	trace := &storage.Trace{}
+	eng.SetTracer(trace)
+	disk := storage.NewDisk(eng, "disk", storage.Disk15KConfig())
+
+	// Object 0: sequential table scans. Object 1: random index probes.
+	// Object 2: bursty sequential log appends.
+	scans := &storage.ClosedSource{Engine: eng, Device: disk, Object: 0, Stream: 1,
+		Pattern: &storage.RunPattern{Rng: rand.New(rand.NewSource(1)),
+			Extent: 2 << 30, Size: 131072, RunLen: 256, Count: 4000}}
+	probes := &storage.ClosedSource{Engine: eng, Device: disk, Object: 1, Stream: 2,
+		Pattern: &storage.RunPattern{Rng: rand.New(rand.NewSource(2)),
+			Base: 2 << 30, Extent: 1 << 30, Size: 8192, RunLen: 1, Count: 3000}}
+	logw := &storage.ClosedSource{Engine: eng, Device: disk, Object: 2, Stream: 3,
+		Pattern: &storage.RunPattern{Rng: rand.New(rand.NewSource(3)),
+			Base: 3 << 30, Extent: 256 << 20, Size: 8192, RunLen: 64, Count: 2000, WriteFrac: 1},
+		Think: 2e-3}
+	scans.Start()
+	probes.Start()
+	logw.Start()
+	eng.Run(0)
+	fmt.Printf("captured %d trace records over %.0f simulated seconds\n",
+		trace.Len(), trace.Duration())
+
+	// Fit workload descriptions from the trace (Rubicon's role).
+	names := []string{"TABLE", "INDEX", "LOG"}
+	workloads, err := dblayout.FitWorkloads(trace, names, dblayout.FitOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range workloads.Workloads {
+		fmt.Printf("fitted %v\n", w)
+	}
+
+	// Advise a layout of the three objects onto three disks.
+	diskModel := costmodel.Calibrate("disk15k", func(e *storage.Engine) storage.Device {
+		return storage.NewDisk(e, "d", storage.Disk15KConfig())
+	}, costmodel.FastGrid())
+	p := dblayout.Problem{
+		Objects: []dblayout.Object{
+			{Name: "TABLE", Size: 2 << 30, Kind: dblayout.KindTable},
+			{Name: "INDEX", Size: 1 << 30, Kind: dblayout.KindIndex},
+			{Name: "LOG", Size: 256 << 20, Kind: dblayout.KindLog},
+		},
+		Targets: []*dblayout.Target{
+			{Name: "disk0", Capacity: 18 << 30, Model: diskModel},
+			{Name: "disk1", Capacity: 18 << 30, Model: diskModel},
+			{Name: "disk2", Capacity: 18 << 30, Model: diskModel},
+		},
+		Workloads: workloads,
+	}
+	rec, err := dblayout.Recommend(p, dblayout.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrecommended layout (max predicted utilization %.1f%%):\n\n%s",
+		100*rec.FinalObjective, dblayout.FormatLayout(p, rec.Final))
+}

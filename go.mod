@@ -1,0 +1,3 @@
+module dblayout
+
+go 1.22

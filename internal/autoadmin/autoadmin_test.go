@@ -1,0 +1,158 @@
+package autoadmin
+
+import (
+	"testing"
+)
+
+// workload: two big tables co-accessed by a join query, an index co-accessed
+// with table 0, and a cold object nothing touches together.
+func testQueries() []Query {
+	return []Query{
+		{Name: "join", Weight: 3, Accesses: []Access{
+			{Object: 0, Volume: 4e9}, {Object: 1, Volume: 1e9},
+		}},
+		{Name: "scan0", Weight: 2, Accesses: []Access{
+			{Object: 0, Volume: 4e9}, {Object: 2, Volume: 0.5e9},
+		}},
+		{Name: "lookup", Weight: 5, Accesses: []Access{
+			{Object: 2, Volume: 0.2e9},
+		}},
+		{Name: "cold", Weight: 1, Accesses: []Access{
+			{Object: 3, Volume: 0.1e9},
+		}},
+	}
+}
+
+func testConfig(m int) Config {
+	caps := make([]int64, m)
+	for j := range caps {
+		caps[j] = 20 << 30
+	}
+	return Config{
+		Sizes:      []int64{4 << 30, 2 << 30, 1 << 30, 1 << 30},
+		Capacities: caps,
+	}
+}
+
+func TestRecommendBasics(t *testing.T) {
+	l, err := Recommend(testQueries(), 4, 4, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	if !l.IsRegular() {
+		t.Fatal("AutoAdmin layout must be regular")
+	}
+	// The heavily co-accessed pair (0,1) must not share any target.
+	for j := 0; j < 4; j++ {
+		if l.At(0, j) > 0 && l.At(1, j) > 0 {
+			t.Fatalf("co-accessed objects share target %d:\n%s", j, l)
+		}
+	}
+}
+
+func TestRecommendObliviousToWeightScaling(t *testing.T) {
+	// Scaling all query weights (e.g. running the same queries at
+	// concurrency 8) must not change the layout: AutoAdmin is oblivious
+	// to concurrency, exactly the limitation the paper points out.
+	qs := testQueries()
+	l1, err := Recommend(qs, 4, 4, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		qs[i].Weight *= 8
+	}
+	l8, err := Recommend(qs, 4, 4, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if l1.At(i, j) != l8.At(i, j) {
+				t.Fatalf("layout changed with concurrency at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestRecommendCardinalityError(t *testing.T) {
+	// Inflating the cold object's estimated volume by 1000x (an optimizer
+	// misestimate, like PostgreSQL on Q18) must change its placement
+	// priority — it becomes the heaviest node.
+	cfg := testConfig(4)
+	cfg.VolumeMultipliers = []float64{1, 1, 1, 20000}
+	l, err := Recommend(testQueries(), 4, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	// The misestimated object should now be spread for parallelism at
+	// least as widely as anything else.
+	spreadCold := len(l.Targets(3))
+	spreadHot := len(l.Targets(0))
+	if spreadCold < spreadHot {
+		t.Fatalf("misestimated object spread %d < true-hot spread %d", spreadCold, spreadHot)
+	}
+}
+
+func TestRecommendCapacity(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.Capacities = []int64{5 << 30, 5 << 30}
+	l, err := Recommend(testQueries(), 4, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CheckCapacity(cfg.Sizes, cfg.Capacities); err != nil {
+		t.Fatal(err)
+	}
+	// Impossible case errors out.
+	cfg.Capacities = []int64{1 << 30, 1 << 30}
+	if _, err := Recommend(testQueries(), 4, 2, cfg); err == nil {
+		t.Fatal("impossible capacity accepted")
+	}
+}
+
+func TestRecommendErrors(t *testing.T) {
+	if _, err := Recommend(nil, 0, 4, Config{}); err == nil {
+		t.Fatal("zero objects accepted")
+	}
+	cfg := testConfig(4)
+	if _, err := Recommend([]Query{{Name: "bad", Accesses: []Access{{Object: 9}}}}, 4, 4, cfg); err == nil {
+		t.Fatal("out-of-range object accepted")
+	}
+	cfg.Sizes = cfg.Sizes[:2]
+	if _, err := Recommend(testQueries(), 4, 4, cfg); err == nil {
+		t.Fatal("mismatched sizes accepted")
+	}
+}
+
+func TestParallelismSpreadsHotObjects(t *testing.T) {
+	// With MaxSpread unrestricted, the hot object should end up on more
+	// than one target (I/O parallelism), given spare targets exist.
+	l, err := Recommend(testQueries(), 4, 8, testConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(l.Targets(0)); n < 2 {
+		t.Fatalf("hot object on %d targets, want >= 2", n)
+	}
+}
+
+func TestMaxSpreadRespected(t *testing.T) {
+	cfg := testConfig(8)
+	cfg.MaxSpread = 2
+	l, err := Recommend(testQueries(), 4, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if n := len(l.Targets(i)); n > 2 {
+			t.Fatalf("object %d on %d targets, max 2", i, n)
+		}
+	}
+}

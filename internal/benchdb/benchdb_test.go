@@ -1,0 +1,210 @@
+package benchdb
+
+import (
+	"testing"
+
+	"dblayout/internal/layout"
+)
+
+func TestTPCHCatalogMatchesPaper(t *testing.T) {
+	c := TPCH()
+	if got := len(c.Objects); got != 20 {
+		t.Fatalf("TPC-H has %d objects, want 20", got)
+	}
+	if got := c.CountKind(layout.KindTable); got != 8 {
+		t.Errorf("tables = %d, want 8 (paper Fig. 9)", got)
+	}
+	if got := c.CountKind(layout.KindIndex); got != 11 {
+		t.Errorf("indexes = %d, want 11", got)
+	}
+	if got := c.CountKind(layout.KindTemp); got != 1 {
+		t.Errorf("temp spaces = %d, want 1", got)
+	}
+	// Total size ~9.4 GB.
+	total := float64(c.TotalSize()) / gb
+	if total < 9.0 || total > 9.8 {
+		t.Errorf("TPC-H total = %.2f GB, want ~9.4", total)
+	}
+	// LINEITEM is the largest object.
+	for _, o := range c.Objects {
+		if o.Name != Lineitem && o.Size >= c.SizeOf(Lineitem) {
+			t.Errorf("%s (%d) >= LINEITEM", o.Name, o.Size)
+		}
+	}
+}
+
+func TestTPCCCatalogMatchesPaper(t *testing.T) {
+	c := TPCC()
+	if got := len(c.Objects); got != 20 {
+		t.Fatalf("TPC-C has %d objects, want 20", got)
+	}
+	if got := c.CountKind(layout.KindTable); got != 9 {
+		t.Errorf("tables = %d, want 9 (paper Fig. 9)", got)
+	}
+	if got := c.CountKind(layout.KindIndex); got != 10 {
+		t.Errorf("indexes = %d, want 10", got)
+	}
+	if got := c.CountKind(layout.KindLog); got != 1 {
+		t.Errorf("logs = %d, want 1", got)
+	}
+	total := float64(c.TotalSize()) / gb
+	if total < 8.7 || total > 9.5 {
+		t.Errorf("TPC-C total = %.2f GB, want ~9.1", total)
+	}
+}
+
+func TestTPCHQueriesValid(t *testing.T) {
+	c := TPCH()
+	qs := TPCHQueries()
+	if len(qs) != 21 {
+		t.Fatalf("%d queries, want 21 (Q9 excluded)", len(qs))
+	}
+	if err := ValidateQueries(c, qs); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if q.Name == "Q9" {
+			t.Fatal("Q9 must be excluded")
+		}
+		if q.CPUSeconds <= 0 {
+			t.Errorf("%s has no CPU component", q.Name)
+		}
+	}
+}
+
+func TestTPCHWorkloadShapes(t *testing.T) {
+	qs := TPCHQueries()
+	// Aggregate I/O volume per object; LINEITEM must dominate, ORDERS
+	// second among tables — matching the "most heavily accessed objects"
+	// ordering in paper Figs. 1 and 12.
+	vol := map[string]int64{}
+	for _, q := range qs {
+		for _, obj := range q.Objects() {
+			vol[obj] += q.TotalBytes(obj)
+		}
+	}
+	if vol[Lineitem] <= vol[Orders] {
+		t.Errorf("LINEITEM volume %d not > ORDERS %d", vol[Lineitem], vol[Orders])
+	}
+	if vol[Orders] <= vol[Part] {
+		t.Errorf("ORDERS volume %d not > PART %d", vol[Orders], vol[Part])
+	}
+	if vol[TempSpace] == 0 {
+		t.Error("no temp-space traffic")
+	}
+	if vol[ILOrderkey] == 0 {
+		t.Error("no I_L_ORDERKEY traffic")
+	}
+}
+
+func TestOLAPWorkloads(t *testing.T) {
+	cases := []struct {
+		w    *OLAPWorkload
+		n    int
+		conc int
+		name string
+	}{
+		{OLAP121(), 21, 1, "OLAP1-21"},
+		{OLAP163(), 63, 1, "OLAP1-63"},
+		{OLAP863(), 63, 8, "OLAP8-63"},
+	}
+	for _, tc := range cases {
+		if len(tc.w.Queries) != tc.n {
+			t.Errorf("%s: %d queries, want %d", tc.name, len(tc.w.Queries), tc.n)
+		}
+		if tc.w.Concurrency != tc.conc {
+			t.Errorf("%s: concurrency %d, want %d", tc.name, tc.w.Concurrency, tc.conc)
+		}
+		if tc.w.Name != tc.name {
+			t.Errorf("workload name %q, want %q", tc.w.Name, tc.name)
+		}
+	}
+}
+
+func TestOLTPWorkload(t *testing.T) {
+	w := OLTP()
+	if w.Terminals != 9 {
+		t.Errorf("terminals = %d, want 9", w.Terminals)
+	}
+	var weight float64
+	c := w.Catalog
+	for _, txn := range w.Transactions {
+		weight += txn.Weight
+		for _, a := range append(append([]TxnAccess{}, txn.Reads...), txn.Writes...) {
+			if c.Index(a.Object) < 0 {
+				t.Errorf("%s references unknown object %q", txn.Name, a.Object)
+			}
+			if a.Pages <= 0 {
+				t.Errorf("%s has non-positive page count on %q", txn.Name, a.Object)
+			}
+		}
+	}
+	if weight < 0.999 || weight > 1.001 {
+		t.Errorf("mix weights sum to %g, want 1", weight)
+	}
+	if c.Index(w.LogObject) < 0 {
+		t.Errorf("log object %q not in catalog", w.LogObject)
+	}
+}
+
+func TestValidateQueriesRejects(t *testing.T) {
+	c := TPCH()
+	bad := []Query{{Name: "X", Phases: []Phase{{Streams: []Stream{{Object: "NOPE", Bytes: 1}}}}}}
+	if err := ValidateQueries(c, bad); err == nil {
+		t.Error("unknown object accepted")
+	}
+	bad = []Query{{Name: "X", Phases: []Phase{{}}}}
+	if err := ValidateQueries(c, bad); err == nil {
+		t.Error("empty phase accepted")
+	}
+	bad = []Query{{Name: "X", Phases: []Phase{{Streams: []Stream{{Object: Lineitem, Bytes: 0}}}}}}
+	if err := ValidateQueries(c, bad); err == nil {
+		t.Error("zero volume accepted")
+	}
+}
+
+func TestAutoAdminQueries(t *testing.T) {
+	c := TPCH()
+	aq, err := AutoAdminQueries(c, TPCHQueries(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aq) != 21 {
+		t.Fatalf("%d queries, want 21", len(aq))
+	}
+	// Q3 touches ORDERS, CUSTOMER, LINEITEM and TEMP.
+	for _, q := range aq {
+		if q.Name != "Q3" {
+			continue
+		}
+		if len(q.Accesses) != 4 {
+			t.Fatalf("Q3 has %d accesses, want 4", len(q.Accesses))
+		}
+		for _, a := range q.Accesses {
+			if a.Object < 0 || a.Object >= 20 || a.Volume <= 0 {
+				t.Fatalf("bad access %+v", a)
+			}
+		}
+	}
+	// Offset shifts indices for consolidated catalogs.
+	aqOff, err := AutoAdminQueries(c, TPCHQueries()[:1], 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aqOff[0].Accesses[0].Object < 20 {
+		t.Error("offset not applied")
+	}
+}
+
+func TestNoNameCollisionsAcrossCatalogs(t *testing.T) {
+	h, c := TPCH(), TPCC()
+	seen := map[string]bool{}
+	for _, o := range h.Objects {
+		seen[o.Name] = true
+	}
+	for _, o := range c.Objects {
+		if seen[o.Name] {
+			t.Errorf("object name %q appears in both catalogs", o.Name)
+		}
+	}
+}

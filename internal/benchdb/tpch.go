@@ -1,0 +1,204 @@
+package benchdb
+
+import "dblayout/internal/layout"
+
+// Object names of the TPC-H database (8 tables, 11 indexes, 1 temporary
+// tablespace — paper Fig. 9).
+const (
+	Lineitem    = "LINEITEM"
+	Orders      = "ORDERS"
+	Partsupp    = "PARTSUPP"
+	Part        = "PART"
+	Customer    = "CUSTOMER"
+	Supplier    = "SUPPLIER"
+	Nation      = "NATION"
+	Region      = "REGION"
+	ILOrderkey  = "I_L_ORDERKEY"
+	ILSuppkPk   = "I_L_SUPPK_PARTK"
+	ILShipdate  = "I_L_SHIPDATE"
+	OrdersPkey  = "ORDERS_PKEY"
+	IOCustkey   = "I_O_CUSTKEY"
+	IOOrderdate = "I_O_ORDERDATE"
+	PartsuppPk  = "PARTSUPP_PKEY"
+	PartPk      = "PART_PKEY"
+	CustomerPk  = "CUSTOMER_PKEY"
+	SupplierPk  = "SUPPLIER_PKEY"
+	NationPk    = "NATION_PKEY"
+	TempSpace   = "TEMP SPACE"
+)
+
+const (
+	mb = 1 << 20
+	gb = 1 << 30
+)
+
+// TPCH returns the scale-factor-5 TPC-H catalog: 9.4 GB over 20 objects,
+// sized after PostgreSQL's on-disk representation.
+func TPCH() *Catalog {
+	return &Catalog{
+		Name: "TPC-H",
+		Objects: []layout.Object{
+			{Name: Lineitem, Size: 3900 * mb, Kind: layout.KindTable},
+			{Name: Orders, Size: 850 * mb, Kind: layout.KindTable},
+			{Name: Partsupp, Size: 640 * mb, Kind: layout.KindTable},
+			{Name: Part, Size: 165 * mb, Kind: layout.KindTable},
+			{Name: Customer, Size: 130 * mb, Kind: layout.KindTable},
+			{Name: Supplier, Size: 8 * mb, Kind: layout.KindTable},
+			{Name: Nation, Size: 1 * mb, Kind: layout.KindTable},
+			{Name: Region, Size: 1 * mb, Kind: layout.KindTable},
+			{Name: ILOrderkey, Size: 700 * mb, Kind: layout.KindIndex},
+			{Name: ILSuppkPk, Size: 800 * mb, Kind: layout.KindIndex},
+			{Name: ILShipdate, Size: 650 * mb, Kind: layout.KindIndex},
+			{Name: OrdersPkey, Size: 160 * mb, Kind: layout.KindIndex},
+			{Name: IOCustkey, Size: 160 * mb, Kind: layout.KindIndex},
+			{Name: IOOrderdate, Size: 160 * mb, Kind: layout.KindIndex},
+			{Name: PartsuppPk, Size: 90 * mb, Kind: layout.KindIndex},
+			{Name: PartPk, Size: 25 * mb, Kind: layout.KindIndex},
+			{Name: CustomerPk, Size: 20 * mb, Kind: layout.KindIndex},
+			{Name: SupplierPk, Size: 3 * mb, Kind: layout.KindIndex},
+			{Name: NationPk, Size: 1 * mb, Kind: layout.KindIndex},
+			{Name: TempSpace, Size: 1024 * mb, Kind: layout.KindTemp},
+		},
+	}
+}
+
+// seq builds a sequential read stream over a fraction of an object.
+func seq(c *Catalog, obj string, frac float64) Stream {
+	return Stream{Object: obj, Bytes: int64(frac * float64(c.SizeOf(obj))), ReqSize: ScanSize, Sequential: true}
+}
+
+// rnd builds a random page-read stream covering a fraction of an object,
+// with a little CPU work per page (index traversal, tuple processing).
+func rnd(c *Catalog, obj string, frac float64) Stream {
+	return Stream{Object: obj, Bytes: int64(frac * float64(c.SizeOf(obj))), ReqSize: PageSize, ThinkPerReq: 0.2e-3}
+}
+
+// tmpW builds a sequential temporary-space spill write. Spills are produced
+// at roughly the feeding scan's row rate and flushed asynchronously by the
+// page cache, so the stream is paced (~70 MB/s production) but keeps several
+// requests in flight across the volume's targets.
+func tmpW(bytes int64) Stream {
+	return Stream{Object: TempSpace, Bytes: bytes, ReqSize: ScanSize, Sequential: true, Write: true,
+		ThinkPerReq: 1.7e-3, Depth: 8}
+}
+func tmpR(bytes int64) Stream {
+	return Stream{Object: TempSpace, Bytes: bytes, ReqSize: ScanSize, Sequential: true}
+}
+
+// TPCHQueries returns the 21 usable TPC-H queries (Q9 is excluded, as in the
+// paper, for its excessive runtime). Each spec reflects the dominant I/O of
+// the PostgreSQL 8.0 plan: sequential scans feeding hash joins and
+// aggregations, sort spills to TEMP SPACE, and index-driven random access
+// where a plan demands it. CPU seconds approximate the non-I/O portion on
+// the paper's 2.4 GHz Xeon server.
+func TPCHQueries() []Query {
+	c := TPCH()
+	return []Query{
+		{Name: "Q1", CPUSeconds: 70, Phases: []Phase{
+			{Streams: []Stream{seq(c, Lineitem, 1)}},
+		}},
+		{Name: "Q2", CPUSeconds: 12, Phases: []Phase{
+			{Streams: []Stream{seq(c, Partsupp, 1), seq(c, Part, 1)}},
+		}},
+		{Name: "Q3", CPUSeconds: 35, Phases: []Phase{
+			{Streams: []Stream{seq(c, Orders, 1), seq(c, Customer, 1)}},
+			{Streams: []Stream{seq(c, Lineitem, 1), tmpW(600 * mb)}},
+			{Streams: []Stream{tmpR(600 * mb)}},
+		}},
+		{Name: "Q4", CPUSeconds: 28, Phases: []Phase{
+			{Streams: []Stream{seq(c, Orders, 1)}},
+			{Streams: []Stream{seq(c, Lineitem, 1)}},
+		}},
+		{Name: "Q5", CPUSeconds: 32, Phases: []Phase{
+			{Streams: []Stream{seq(c, Orders, 1), seq(c, Customer, 1)}},
+			{Streams: []Stream{seq(c, Lineitem, 1)}},
+		}},
+		{Name: "Q6", CPUSeconds: 18, Phases: []Phase{
+			{Streams: []Stream{seq(c, Lineitem, 1)}},
+		}},
+		{Name: "Q7", CPUSeconds: 38, Phases: []Phase{
+			{Streams: []Stream{seq(c, Orders, 1)}},
+			{Streams: []Stream{seq(c, Lineitem, 1), tmpW(1200 * mb)}},
+			{Streams: []Stream{tmpR(1200 * mb)}},
+		}},
+		{Name: "Q8", CPUSeconds: 30, Phases: []Phase{
+			{Streams: []Stream{seq(c, Part, 1), seq(c, Orders, 1)}},
+			{Streams: []Stream{seq(c, Lineitem, 1)}},
+		}},
+		{Name: "Q10", CPUSeconds: 32, Phases: []Phase{
+			{Streams: []Stream{seq(c, Orders, 1)}},
+			{Streams: []Stream{seq(c, Lineitem, 1), tmpW(800 * mb)}},
+			{Streams: []Stream{tmpR(800 * mb), seq(c, Customer, 1)}},
+		}},
+		{Name: "Q11", CPUSeconds: 10, Phases: []Phase{
+			{Streams: []Stream{seq(c, Partsupp, 1)}},
+		}},
+		{Name: "Q12", CPUSeconds: 26, Phases: []Phase{
+			{Streams: []Stream{seq(c, Orders, 1)}},
+			{Streams: []Stream{seq(c, Lineitem, 1)}},
+		}},
+		{Name: "Q13", CPUSeconds: 34, Phases: []Phase{
+			{Streams: []Stream{seq(c, Orders, 1), tmpW(500 * mb)}},
+			{Streams: []Stream{tmpR(500 * mb), seq(c, Customer, 1)}},
+		}},
+		{Name: "Q14", CPUSeconds: 18, Phases: []Phase{
+			{Streams: []Stream{seq(c, Lineitem, 1), seq(c, Part, 1)}},
+		}},
+		{Name: "Q15", CPUSeconds: 28, Phases: []Phase{
+			{Streams: []Stream{seq(c, Lineitem, 1)}},
+			{Streams: []Stream{seq(c, Lineitem, 1)}},
+		}},
+		{Name: "Q16", CPUSeconds: 16, Phases: []Phase{
+			{Streams: []Stream{seq(c, Partsupp, 1), seq(c, Part, 1)}},
+		}},
+		{Name: "Q17", CPUSeconds: 22, Phases: []Phase{
+			{Streams: []Stream{seq(c, Part, 0.1), rnd(c, ILSuppkPk, 0.3), rnd(c, Lineitem, 0.02)}},
+		}},
+		{Name: "Q18", CPUSeconds: 45, Phases: []Phase{
+			{Streams: []Stream{seq(c, Lineitem, 1), tmpW(2500 * mb)}},
+			{Streams: []Stream{tmpR(2500 * mb), rnd(c, ILOrderkey, 0.35), rnd(c, OrdersPkey, 0.45)}},
+		}},
+		{Name: "Q19", CPUSeconds: 22, Phases: []Phase{
+			{Streams: []Stream{seq(c, Lineitem, 1), seq(c, Part, 1)}},
+		}},
+		{Name: "Q20", CPUSeconds: 26, Phases: []Phase{
+			{Streams: []Stream{seq(c, Lineitem, 1)}},
+			{Streams: []Stream{seq(c, Partsupp, 1), rnd(c, ILSuppkPk, 0.2)}},
+		}},
+		{Name: "Q21", CPUSeconds: 48, Phases: []Phase{
+			{Streams: []Stream{seq(c, Lineitem, 1), tmpW(1200 * mb)}},
+			{Streams: []Stream{rnd(c, ILOrderkey, 0.4), rnd(c, Lineitem, 0.03)}},
+			{Streams: []Stream{tmpR(1200 * mb), seq(c, Orders, 1)}},
+		}},
+		{Name: "Q22", CPUSeconds: 14, Phases: []Phase{
+			{Streams: []Stream{seq(c, Customer, 1), rnd(c, IOCustkey, 0.35)}},
+		}},
+	}
+}
+
+// olapMix repeats each query `repeat` times, yielding the paper's
+// OLAP1-21 / OLAP1-63 / OLAP8-63 query mixes. The run-time permutation of
+// the mix is done by the replay engine with its seed.
+func olapMix(repeat int) []Query {
+	base := TPCHQueries()
+	out := make([]Query, 0, len(base)*repeat)
+	for r := 0; r < repeat; r++ {
+		out = append(out, base...)
+	}
+	return out
+}
+
+// OLAP121 is the 21-query, concurrency-1 workload (paper Fig. 10).
+func OLAP121() *OLAPWorkload {
+	return &OLAPWorkload{Name: "OLAP1-21", Catalog: TPCH(), Queries: olapMix(1), Concurrency: 1}
+}
+
+// OLAP163 is the 63-query, concurrency-1 workload.
+func OLAP163() *OLAPWorkload {
+	return &OLAPWorkload{Name: "OLAP1-63", Catalog: TPCH(), Queries: olapMix(3), Concurrency: 1}
+}
+
+// OLAP863 is the 63-query, concurrency-8 workload.
+func OLAP863() *OLAPWorkload {
+	return &OLAPWorkload{Name: "OLAP8-63", Catalog: TPCH(), Queries: olapMix(3), Concurrency: 8}
+}

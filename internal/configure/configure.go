@@ -1,0 +1,174 @@
+// Package configure extends the layout advisor to recommend storage
+// *configurations* in addition to layouts — the direction the paper's
+// conclusion sketches toward Minerva and the Disk Array Designer: "instead
+// of taking a set of storage targets as input, the advisor would take a
+// description of the available unconfigured storage resources [and]
+// recommend how to configure specific storage targets, e.g., RAID groups,
+// from the available resources, as well as how to lay out objects onto the
+// targets."
+//
+// Given a pool of identical disks (plus optional pre-configured devices such
+// as SSDs), the configurator enumerates the ways of grouping the disks into
+// RAID0 targets, runs the layout advisor against each candidate
+// configuration, and returns the configuration + layout with the lowest
+// predicted maximum utilization.
+package configure
+
+import (
+	"fmt"
+	"sort"
+
+	"dblayout/internal/core"
+	"dblayout/internal/costmodel"
+	"dblayout/internal/layout"
+	"dblayout/internal/nlp"
+	"dblayout/internal/replay"
+	"dblayout/internal/rome"
+)
+
+// Pool describes the unconfigured storage resources.
+type Pool struct {
+	// Disks is the number of identical disks available for grouping.
+	Disks int
+	// Fixed are devices used as-is in every candidate configuration
+	// (e.g. an SSD, or an existing RAID group).
+	Fixed []replay.DeviceSpec
+	// MaxGroup bounds the RAID0 group size (0 = no bound).
+	MaxGroup int
+}
+
+// Candidate is one evaluated configuration.
+type Candidate struct {
+	// Grouping is the disk partition, e.g. [3 1] = one 3-disk RAID0
+	// group plus one standalone disk.
+	Grouping []int
+	// Devices are the concrete targets of the configuration.
+	Devices []replay.DeviceSpec
+	// Rec is the advisor's recommendation for the configuration.
+	Rec *core.Recommendation
+}
+
+// Options bundles the advisor inputs that are independent of the
+// configuration choice.
+type Options struct {
+	Objects   []layout.Object
+	Workloads *rome.Set
+	Cache     *costmodel.Cache
+	Grid      costmodel.Grid
+	Seed      int64
+}
+
+// partitions enumerates the integer partitions of n (descending parts),
+// bounding parts by maxPart.
+func partitions(n, maxPart int) [][]int {
+	if maxPart <= 0 || maxPart > n {
+		maxPart = n
+	}
+	var out [][]int
+	var rec func(remaining, limit int, cur []int)
+	rec = func(remaining, limit int, cur []int) {
+		if remaining == 0 {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for p := min(limit, remaining); p >= 1; p-- {
+			rec(remaining-p, p, append(cur, p))
+		}
+	}
+	rec(n, maxPart, nil)
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Enumerate lists the candidate device configurations for the pool.
+func Enumerate(pool Pool) ([][]replay.DeviceSpec, [][]int, error) {
+	if pool.Disks < 0 || (pool.Disks == 0 && len(pool.Fixed) == 0) {
+		return nil, nil, fmt.Errorf("configure: empty resource pool")
+	}
+	var configs [][]replay.DeviceSpec
+	var groupings [][]int
+	if pool.Disks == 0 {
+		return [][]replay.DeviceSpec{pool.Fixed}, [][]int{nil}, nil
+	}
+	for _, part := range partitions(pool.Disks, pool.MaxGroup) {
+		devices := append([]replay.DeviceSpec(nil), pool.Fixed...)
+		for gi, size := range part {
+			name := fmt.Sprintf("raid0x%d.%d", size, gi)
+			if size == 1 {
+				name = fmt.Sprintf("disk.%d", gi)
+				devices = append(devices, replay.Disk15K(name))
+			} else {
+				devices = append(devices, replay.RAID0Disks(name, size))
+			}
+		}
+		configs = append(configs, devices)
+		groupings = append(groupings, part)
+	}
+	return configs, groupings, nil
+}
+
+// Best evaluates every candidate configuration with the layout advisor and
+// returns them sorted by predicted objective (best first).
+func Best(pool Pool, opt Options) ([]*Candidate, error) {
+	if opt.Workloads == nil || len(opt.Objects) == 0 {
+		return nil, fmt.Errorf("configure: objects and workloads are required")
+	}
+	if opt.Cache == nil {
+		opt.Cache = costmodel.NewCache()
+	}
+	if len(opt.Grid.Sizes) == 0 {
+		opt.Grid = costmodel.DefaultGrid()
+	}
+	configs, groupings, err := Enumerate(pool)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []*Candidate
+	for ci, devices := range configs {
+		sys := &replay.System{Objects: opt.Objects, Devices: devices}
+		inst := &layout.Instance{
+			Objects:   opt.Objects,
+			Targets:   sys.Targets(opt.Cache, opt.Grid),
+			Workloads: opt.Workloads,
+		}
+		if err := inst.Validate(); err != nil {
+			// A configuration whose total capacity cannot hold the
+			// database is simply not a candidate.
+			continue
+		}
+		heuristic, err := layout.InitialLayout(inst)
+		if err != nil {
+			continue
+		}
+		adv, err := core.New(inst, core.Options{
+			NLP:            nlp.Options{Seed: opt.Seed},
+			InitialLayouts: []*layout.Layout{heuristic, layout.SEE(inst.N(), inst.M())},
+		})
+		if err != nil {
+			return nil, err
+		}
+		rec, err := adv.Recommend()
+		if err != nil {
+			return nil, fmt.Errorf("configure: grouping %v: %w", groupings[ci], err)
+		}
+		out = append(out, &Candidate{
+			Grouping: groupings[ci],
+			Devices:  devices,
+			Rec:      rec,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("configure: no feasible configuration for the pool")
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		return out[a].Rec.FinalObjective < out[b].Rec.FinalObjective
+	})
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package configure
+
+import (
+	"testing"
+
+	"dblayout/internal/benchdb"
+	"dblayout/internal/costmodel"
+	"dblayout/internal/estimator"
+	"dblayout/internal/replay"
+)
+
+func TestPartitions(t *testing.T) {
+	got := partitions(4, 0)
+	want := [][]int{{4}, {3, 1}, {2, 2}, {2, 1, 1}, {1, 1, 1, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("partitions(4) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("partition %d = %v, want %v", i, got[i], want[i])
+		}
+		for k := range want[i] {
+			if got[i][k] != want[i][k] {
+				t.Fatalf("partition %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+	// Bounded group size.
+	for _, p := range partitions(4, 2) {
+		for _, part := range p {
+			if part > 2 {
+				t.Fatalf("partition %v exceeds bound", p)
+			}
+		}
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	configs, groupings, err := Enumerate(Pool{Disks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(configs) != 5 {
+		t.Fatalf("got %d configurations for 4 disks, want 5", len(configs))
+	}
+	// The "3-1" and "2-1-1" configurations of the paper's Fig. 17 must be
+	// among them.
+	found31, found211 := false, false
+	for _, g := range groupings {
+		if len(g) == 2 && g[0] == 3 && g[1] == 1 {
+			found31 = true
+		}
+		if len(g) == 3 && g[0] == 2 {
+			found211 = true
+		}
+	}
+	if !found31 || !found211 {
+		t.Fatalf("paper configurations missing from %v", groupings)
+	}
+	// Fixed devices appear in every configuration.
+	configs, _, err = Enumerate(Pool{Disks: 2, Fixed: []replay.DeviceSpec{replay.SSD("ssd", 8<<30)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range configs {
+		if c[0].Name != "ssd" {
+			t.Fatalf("fixed device missing: %v", c)
+		}
+	}
+	if _, _, err := Enumerate(Pool{}); err == nil {
+		t.Fatal("empty pool accepted")
+	}
+}
+
+// TestBestPrefersGroupingForSequentialLoad runs the configurator on the
+// TPC-H workload estimate over four disks: all candidate groupings are
+// evaluated and the winner's recommendation must be at least as good as
+// every other candidate's.
+func TestBestPrefersGoodConfiguration(t *testing.T) {
+	w := benchdb.OLAP863()
+	est, err := estimator.EstimateOLAP(w, estimator.DefaultAssumptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := Best(Pool{Disks: 4}, Options{
+		Objects:   w.Catalog.Objects,
+		Workloads: est,
+		Grid:      costmodel.FastGrid(),
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 5 {
+		t.Fatalf("evaluated %d candidates, want 5", len(cands))
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Rec.FinalObjective < cands[0].Rec.FinalObjective-1e-9 {
+			t.Fatalf("candidates not sorted: %v=%.3f before %v=%.3f",
+				cands[0].Grouping, cands[0].Rec.FinalObjective,
+				cands[i].Grouping, cands[i].Rec.FinalObjective)
+		}
+	}
+	t.Logf("best grouping %v (objective %.3f), worst %v (%.3f)",
+		cands[0].Grouping, cands[0].Rec.FinalObjective,
+		cands[len(cands)-1].Grouping, cands[len(cands)-1].Rec.FinalObjective)
+}
+
+func TestBestSkipsInfeasible(t *testing.T) {
+	// One disk (18.4 GB) cannot hold the 9.4 GB database twice over; with
+	// a huge object the whole pool is infeasible.
+	w := benchdb.OLAP121()
+	est, err := estimator.EstimateOLAP(w, estimator.DefaultAssumptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := w.Catalog.Objects
+	objs[0].Size = 200 << 30 // larger than any configuration
+	if _, err := Best(Pool{Disks: 2}, Options{
+		Objects:   objs,
+		Workloads: est,
+		Grid:      costmodel.FastGrid(),
+	}); err == nil {
+		t.Fatal("infeasible pool accepted")
+	}
+}
+
+func TestBestValidatesInput(t *testing.T) {
+	if _, err := Best(Pool{Disks: 2}, Options{}); err == nil {
+		t.Fatal("missing workloads accepted")
+	}
+}

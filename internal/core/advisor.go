@@ -1,0 +1,231 @@
+// Package core implements the paper's layout advisor — its primary
+// contribution. Given a layout problem instance (objects, targets with
+// calibrated cost models, and Rome-style workload descriptions), the advisor
+// follows the algorithm of paper Fig. 4:
+//
+//  1. build a valid initial layout with the load-based heuristic (Sec. 4.2),
+//  2. run an NLP solver to locally minimize the maximum predicted target
+//     utilization (Sec. 4.1),
+//  3. optionally regularize the solver's layout so every object is spread
+//     evenly over a subset of targets (Sec. 4.3), and
+//  4. optionally repeat from additional initial layouts, keeping the best.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dblayout/internal/layout"
+	"dblayout/internal/nlp"
+)
+
+// Solver selects the optimization strategy standing in for the paper's
+// MINOS solver.
+type Solver int
+
+// Available solvers.
+const (
+	// SolverTransfer is the default scalable mass-transfer local search.
+	SolverTransfer Solver = iota
+	// SolverProjectedGradient is finite-difference projected gradient
+	// descent; a cross-check for small instances.
+	SolverProjectedGradient
+	// SolverAnneal is simulated annealing over transfer moves.
+	SolverAnneal
+)
+
+// String names the solver.
+func (s Solver) String() string {
+	switch s {
+	case SolverTransfer:
+		return "transfer"
+	case SolverProjectedGradient:
+		return "projected-gradient"
+	case SolverAnneal:
+		return "anneal"
+	}
+	return fmt.Sprintf("solver(%d)", int(s))
+}
+
+// Options configures the advisor. The zero value requests the defaults used
+// throughout the paper's evaluation: transfer search from the heuristic
+// initial layout, with regularization.
+type Options struct {
+	// Solver selects the optimization strategy.
+	Solver Solver
+	// NLP tunes the chosen solver.
+	NLP nlp.Options
+	// Anneal tunes SolverAnneal (ignored otherwise).
+	Anneal nlp.AnnealOptions
+	// SkipRegularization leaves the solver's (possibly non-regular)
+	// layout as the final recommendation, for layout mechanisms that can
+	// implement arbitrary fractions.
+	SkipRegularization bool
+	// InitialLayouts supplies explicit starting points (e.g. expert
+	// guesses, or SEE for the ablation study). When empty, the Sec. 4.2
+	// heuristic initial layout is used. With several entries the whole
+	// optimize(+regularize) pass runs from each and the best final layout
+	// wins — the "repeat?" loop of Fig. 4.
+	InitialLayouts []*layout.Layout
+	// Rounds is the number of solve->regularize rounds per initial
+	// layout: after the first round, the regularized layout is fed back
+	// to the solver, which often recovers quality lost to
+	// regularization. Zero selects 2. This is the inner "repeat?" arrow
+	// of Fig. 4.
+	Rounds int
+	// SkipPolish disables the regular-to-regular polish pass that runs
+	// after regularization (an extension beyond the paper; see
+	// PolishRegular). Exposed for ablation.
+	SkipPolish bool
+}
+
+// Recommendation is the advisor's output, retaining the intermediate layouts
+// the paper's Fig. 13 reports on (initial, solver, regularized).
+type Recommendation struct {
+	// Initial is the starting layout handed to the solver.
+	Initial *layout.Layout
+	// Solver is the optimized, possibly non-regular layout.
+	Solver *layout.Layout
+	// Final is the recommended layout: the regularized solver layout, or
+	// the solver layout itself when regularization is skipped.
+	Final *layout.Layout
+
+	// InitialObjective, SolverObjective and FinalObjective are the
+	// predicted max target utilizations of the respective layouts.
+	InitialObjective float64
+	SolverObjective  float64
+	FinalObjective   float64
+
+	// SolveTime and RegularizeTime break down where the advisor spent
+	// its time (paper Fig. 19).
+	SolveTime      time.Duration
+	RegularizeTime time.Duration
+	// SolverIters and SolverEvals report solver effort.
+	SolverIters, SolverEvals int
+}
+
+// Advisor recommends optimized layouts for one problem instance.
+type Advisor struct {
+	inst *layout.Instance
+	ev   *layout.Evaluator
+	opt  Options
+}
+
+// New validates the instance and constructs an advisor.
+func New(inst *layout.Instance, opt Options) (*Advisor, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	return &Advisor{inst: inst, ev: layout.NewEvaluator(inst), opt: opt}, nil
+}
+
+// Evaluator exposes the advisor's utilization model, for reporting.
+func (a *Advisor) Evaluator() *layout.Evaluator { return a.ev }
+
+// Instance returns the problem instance.
+func (a *Advisor) Instance() *layout.Instance { return a.inst }
+
+// Recommend runs the full pipeline of Fig. 4 and returns the recommendation.
+func (a *Advisor) Recommend() (*Recommendation, error) {
+	inits := a.opt.InitialLayouts
+	if len(inits) == 0 {
+		init, err := layout.InitialLayout(a.inst)
+		if err != nil {
+			return nil, fmt.Errorf("core: initial layout: %w", err)
+		}
+		inits = []*layout.Layout{init}
+	}
+
+	var best *Recommendation
+	for k, init := range inits {
+		if err := a.inst.ValidateLayout(init); err != nil {
+			return nil, fmt.Errorf("core: initial layout %d invalid: %w", k, err)
+		}
+		rec, err := a.recommendFrom(init, int64(k))
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || rec.FinalObjective < best.FinalObjective {
+			best = rec
+		}
+	}
+	return best, nil
+}
+
+func (a *Advisor) recommendFrom(init *layout.Layout, seedShift int64) (*Recommendation, error) {
+	rounds := a.opt.Rounds
+	if rounds <= 0 {
+		rounds = 2
+	}
+	if a.opt.SkipRegularization {
+		rounds = 1 // nothing to feed back without the regular layout
+	}
+	var best *Recommendation
+	start := init
+	for round := 0; round < rounds; round++ {
+		rec, err := a.oneRound(start, seedShift+int64(round)*101)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || rec.FinalObjective < best.FinalObjective {
+			best = rec
+		}
+		start = rec.Final
+	}
+	return best, nil
+}
+
+func (a *Advisor) oneRound(init *layout.Layout, seedShift int64) (*Recommendation, error) {
+	rec := &Recommendation{
+		Initial:          init.Clone(),
+		InitialObjective: a.ev.MaxUtilization(init),
+	}
+
+	start := time.Now()
+	var res nlp.Result
+	switch a.opt.Solver {
+	case SolverTransfer:
+		opt := a.opt.NLP
+		opt.Seed += seedShift
+		res = nlp.TransferSearch(a.ev, a.inst, init, opt)
+	case SolverProjectedGradient:
+		if a.inst.Constraints != nil {
+			return nil, fmt.Errorf("core: the projected-gradient solver does not support administrative constraints; use the transfer solver")
+		}
+		res = nlp.ProjectedGradient(a.ev, a.inst, init, a.opt.NLP)
+	case SolverAnneal:
+		opt := a.opt.Anneal
+		if opt.MaxIters == 0 {
+			opt.Options = a.opt.NLP
+		}
+		opt.Seed += seedShift
+		res = nlp.Anneal(a.ev, a.inst, init, opt)
+	default:
+		return nil, fmt.Errorf("core: unknown solver %v", a.opt.Solver)
+	}
+	rec.SolveTime = time.Since(start)
+	rec.Solver = res.Layout
+	rec.SolverObjective = res.Objective
+	rec.SolverIters = res.Iters
+	rec.SolverEvals = res.Evals
+
+	if a.opt.SkipRegularization {
+		rec.Final = rec.Solver
+		rec.FinalObjective = rec.SolverObjective
+		return rec, nil
+	}
+
+	start = time.Now()
+	reg, err := Regularize(a.ev, a.inst, rec.Solver)
+	if err != nil {
+		rec.RegularizeTime = time.Since(start)
+		return nil, fmt.Errorf("core: regularization: %w", err)
+	}
+	if !a.opt.SkipPolish {
+		reg = PolishRegular(a.ev, a.inst, reg)
+	}
+	rec.RegularizeTime = time.Since(start)
+	rec.Final = reg
+	rec.FinalObjective = a.ev.MaxUtilization(reg)
+	return rec, nil
+}

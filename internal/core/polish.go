@@ -1,0 +1,88 @@
+package core
+
+import "dblayout/internal/layout"
+
+// PolishRegular improves a regular layout by local search over regular rows:
+// each pass re-places every object on the best of its candidate regular rows
+// (the same consistent + balancing classes the Sec. 4.3 regularizer uses,
+// evaluated against the *current* layout), until no object moves.
+//
+// This is an extension beyond the paper: its regularizer is one-shot greedy,
+// and on strongly heterogeneous targets (e.g. a small SSD beside disks) a
+// one-shot pass can lose much of the solver's gain because early objects are
+// placed before the eventual shape of the layout is known. The polish pass
+// recovers most of that loss while keeping the result regular and valid. It
+// is enabled by default and can be disabled for ablation via
+// Options.SkipPolish.
+func PolishRegular(ev *layout.Evaluator, inst *layout.Instance, l *layout.Layout) *layout.Layout {
+	cur := l.Clone()
+	sizes := inst.Sizes()
+	caps := inst.Capacities()
+	utils := ev.Utilizations(cur)
+
+	const maxPasses = 8
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for i := 0; i < cur.N; i++ {
+			oldRow := cur.Row(i)
+			curObj, curSum := pairOf(utils)
+
+			var candidates [][]float64
+			candidates = append(candidates, consistentCandidates(oldRow)...)
+			candidates = append(candidates, balancingCandidates(utils)...)
+
+			bestMax, bestSum := curObj, curSum
+			var bestRow []float64
+			var bestUtils []float64
+			for _, cand := range candidates {
+				if sameRow(cand, oldRow) || !capacityOK(cur, i, cand, sizes, caps) ||
+					!constraintsOK(inst, cur, i, cand) {
+					continue
+				}
+				newUtils, obj := evalCandidate(ev, cur, utils, i, oldRow, cand)
+				sum := sumOf(newUtils)
+				if obj < bestMax-1e-12 || (obj < bestMax+1e-12 && sum < bestSum-1e-9) {
+					bestMax, bestSum = obj, sum
+					bestRow = cand
+					bestUtils = newUtils
+				}
+			}
+			if bestRow != nil {
+				cur.SetRow(i, bestRow)
+				utils = bestUtils
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur
+}
+
+func pairOf(utils []float64) (max, sum float64) {
+	for _, u := range utils {
+		sum += u
+		if u > max {
+			max = u
+		}
+	}
+	return max, sum
+}
+
+func sumOf(utils []float64) float64 {
+	var s float64
+	for _, u := range utils {
+		s += u
+	}
+	return s
+}
+
+func sameRow(a, b []float64) bool {
+	for j := range a {
+		if a[j] != b[j] {
+			return false
+		}
+	}
+	return true
+}

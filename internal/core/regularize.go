@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dblayout/internal/layout"
+)
+
+// Regularize converts the solver's (possibly non-regular) layout into a
+// regular one using the post-processing algorithm of paper Sec. 4.3.
+//
+// Objects are regularized one at a time in decreasing order of the total
+// storage system load they impose (sum over targets of mu_ij), so that load
+// imbalances introduced early can be corrected by later objects. For each
+// object, two classes of regular candidate rows are generated:
+//
+//   - consistent candidates: the top-k targets of the object's solver row,
+//     ranked by assigned fraction (ties broken by target index), each
+//     holding 1/k — the only regular layouts that preserve the solver's
+//     ordering of fractions;
+//   - balancing candidates: the k least-utilized targets under the current
+//     partially-regularized layout, each holding 1/k.
+//
+// Candidates violating the capacity constraint are discarded; among the rest
+// the one minimizing the maximum target utilization wins. If every candidate
+// for some object is invalid, Regularize fails (the paper notes manual
+// intervention would then be required).
+func Regularize(ev *layout.Evaluator, inst *layout.Instance, solved *layout.Layout) (*layout.Layout, error) {
+	n := solved.N
+	l := solved.Clone()
+	sizes := inst.Sizes()
+	caps := inst.Capacities()
+
+	// Regularization order: decreasing total imposed load.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	loads := make([]float64, n)
+	for i := range loads {
+		loads[i] = ev.ObjectLoad(solved, i)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return loads[order[a]] > loads[order[b]] })
+
+	utils := ev.Utilizations(l)
+
+	for _, i := range order {
+		if l.RowRegular(i) {
+			continue
+		}
+		oldRow := l.Row(i)
+
+		var candidates [][]float64
+		candidates = append(candidates, consistentCandidates(oldRow)...)
+		candidates = append(candidates, balancingCandidates(utils)...)
+
+		bestObj := -1.0
+		var bestRow []float64
+		var bestUtils []float64
+		for _, cand := range candidates {
+			if !capacityOK(l, i, cand, sizes, caps) || !constraintsOK(inst, l, i, cand) {
+				continue
+			}
+			newUtils, obj := evalCandidate(ev, l, utils, i, oldRow, cand)
+			if bestObj < 0 || obj < bestObj {
+				bestObj = obj
+				bestRow = cand
+				bestUtils = newUtils
+			}
+		}
+		if bestRow == nil {
+			return nil, fmt.Errorf("no valid regular layout for object %q: space constraints too tight",
+				inst.Objects[i].Name)
+		}
+		l.SetRow(i, bestRow)
+		utils = bestUtils
+	}
+	if !l.IsRegular() {
+		return nil, fmt.Errorf("internal error: result not regular")
+	}
+	if err := inst.ValidateLayout(l); err != nil {
+		return nil, fmt.Errorf("internal error: regularized layout invalid: %w", err)
+	}
+	return l, nil
+}
+
+// consistentCandidates returns the M regular rows consistent with the
+// solver's row: for k = 1..M, the k targets with the largest fractions (ties
+// broken by index, as footnote 1 of the paper prescribes) receive 1/k each.
+func consistentCandidates(row []float64) [][]float64 {
+	m := len(row)
+	idx := make([]int, m)
+	for j := range idx {
+		idx[j] = j
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return row[idx[a]] > row[idx[b]] })
+
+	out := make([][]float64, 0, m)
+	for k := 1; k <= m; k++ {
+		out = append(out, layout.RegularRow(m, idx[:k]))
+	}
+	return out
+}
+
+// balancingCandidates returns the M regular rows that place the object on
+// the k least-utilized targets, for k = 1..M.
+func balancingCandidates(utils []float64) [][]float64 {
+	m := len(utils)
+	idx := make([]int, m)
+	for j := range idx {
+		idx[j] = j
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return utils[idx[a]] < utils[idx[b]] })
+
+	out := make([][]float64, 0, m)
+	for k := 1; k <= m; k++ {
+		out = append(out, layout.RegularRow(m, idx[:k]))
+	}
+	return out
+}
+
+// constraintsOK checks whether replacing object i's row with cand respects
+// the instance's administrative constraints against the current layout.
+func constraintsOK(inst *layout.Instance, l *layout.Layout, i int, cand []float64) bool {
+	c := inst.Constraints
+	if c == nil {
+		return true
+	}
+	partners := c.SeparatedFrom(i)
+	for j, v := range cand {
+		if v <= layout.Epsilon {
+			continue
+		}
+		if !c.Permits(i, j) {
+			return false
+		}
+		for _, k := range partners {
+			if l.At(k, j) > layout.Epsilon {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// capacityOK checks whether replacing object i's row with cand keeps every
+// target within capacity.
+func capacityOK(l *layout.Layout, i int, cand []float64, sizes, caps []int64) bool {
+	size := float64(sizes[i])
+	for j := range cand {
+		delta := (cand[j] - l.At(i, j)) * size
+		if delta <= 0 {
+			continue
+		}
+		if l.TargetBytes(j, sizes)+delta > float64(caps[j])*(1+1e-12) {
+			return false
+		}
+	}
+	return true
+}
+
+// evalCandidate computes the utilizations and max-utilization objective that
+// would result from replacing object i's row with cand, re-evaluating only
+// the targets whose workload set changes.
+func evalCandidate(ev *layout.Evaluator, l *layout.Layout, utils []float64, i int, oldRow, cand []float64) ([]float64, float64) {
+	l.SetRow(i, cand)
+	newUtils := append([]float64(nil), utils...)
+	for j := range cand {
+		if oldRow[j] != cand[j] {
+			newUtils[j] = ev.TargetUtilization(l, j)
+		}
+	}
+	l.SetRow(i, oldRow)
+
+	obj := 0.0
+	for _, u := range newUtils {
+		if u > obj {
+			obj = u
+		}
+	}
+	return newUtils, obj
+}

@@ -1,0 +1,336 @@
+// Package estimator infers Rome-style storage workload descriptions directly
+// from SQL-level workload knowledge, without running the workload or
+// collecting traces.
+//
+// This implements the alternative input path the paper describes in
+// Sec. 5.1: "directly infer the storage workload descriptions using
+// knowledge of the database system and its workload and a tool called a
+// storage workload estimator [Ozmen et al., SIGMOD 2007]. This allows
+// storage workload descriptions to be generated without actually running the
+// workload and collecting traces. However, the resulting descriptions may be
+// less accurate than those obtained using the trace-based method."
+//
+// The estimator consumes the same declarative query specifications the
+// replay engine executes (package benchdb): per-query phases of sequential
+// and random streams. From those it derives, per object, the request sizes
+// and rates, the run count, the stream concurrency, and the pairwise
+// temporal-overlap matrix — using a simple nominal device model to estimate
+// phase durations.
+package estimator
+
+import (
+	"fmt"
+
+	"dblayout/internal/benchdb"
+	"dblayout/internal/rome"
+)
+
+// DeviceAssumptions are the nominal target speeds used to estimate phase
+// durations. They need only be roughly right: rates scale uniformly with
+// the duration estimate, and the advisor's objective is scale-free.
+type DeviceAssumptions struct {
+	// SequentialBps is the streaming throughput of one target.
+	SequentialBps float64
+	// RandomIOPS is the random-request throughput of one target.
+	RandomIOPS float64
+	// Targets is the number of storage targets sharing the load.
+	Targets int
+}
+
+// DefaultAssumptions models one mid-2000s enterprise disk per target.
+func DefaultAssumptions(targets int) DeviceAssumptions {
+	return DeviceAssumptions{SequentialBps: 70 << 20, RandomIOPS: 180, Targets: targets}
+}
+
+func (d DeviceAssumptions) withDefaults() DeviceAssumptions {
+	if d.SequentialBps <= 0 {
+		d.SequentialBps = 70 << 20
+	}
+	if d.RandomIOPS <= 0 {
+		d.RandomIOPS = 180
+	}
+	if d.Targets <= 0 {
+		d.Targets = 1
+	}
+	return d
+}
+
+// streamTime estimates how long one stream takes on the assumed devices.
+func (d DeviceAssumptions) streamTime(s benchdb.Stream) float64 {
+	if s.Sequential {
+		return float64(s.Bytes) / d.SequentialBps
+	}
+	size := s.ReqSize
+	if size <= 0 {
+		size = benchdb.PageSize
+	}
+	reqs := float64(s.Bytes) / float64(size)
+	return reqs*(1/d.RandomIOPS) + reqs*s.ThinkPerReq
+}
+
+// objAccum accumulates per-object estimates.
+type objAccum struct {
+	reads, writes         float64
+	readBytes, writeBytes float64
+	runs                  float64
+	activeTime            float64
+	coActive              []float64
+	maxStreams            float64
+}
+
+// EstimateOLAP produces a workload set for an OLAP workload: each query in
+// the mix executes once per appearance, `Concurrency` sessions run the mix
+// in parallel, and objects' request rates are spread over the estimated
+// total busy time.
+func EstimateOLAP(w *benchdb.OLAPWorkload, d DeviceAssumptions) (*rome.Set, error) {
+	if err := benchdb.ValidateQueries(w.Catalog, w.Queries); err != nil {
+		return nil, err
+	}
+	d = d.withDefaults()
+	n := len(w.Catalog.Objects)
+	acc := make([]objAccum, n)
+	for i := range acc {
+		acc[i].coActive = make([]float64, n)
+	}
+
+	var totalTime float64
+	for qi := range w.Queries {
+		q := &w.Queries[qi]
+		totalTime += q.CPUSeconds
+		for _, p := range q.Phases {
+			// Phase duration: the slowest stream, assuming each
+			// stream gets one target's worth of bandwidth.
+			var phaseTime float64
+			for _, s := range p.Streams {
+				if t := d.streamTime(s); t > phaseTime {
+					phaseTime = t
+				}
+			}
+			totalTime += phaseTime
+
+			// Per-object traffic and activity within the phase.
+			active := map[int]bool{}
+			for _, s := range p.Streams {
+				i := w.Catalog.Index(s.Object)
+				a := &acc[i]
+				size := s.ReqSize
+				if size <= 0 {
+					if s.Sequential {
+						size = benchdb.ScanSize
+					} else {
+						size = benchdb.PageSize
+					}
+				}
+				reqs := float64(s.Bytes) / float64(size)
+				if s.Write {
+					a.writes += reqs
+					a.writeBytes += float64(s.Bytes)
+				} else {
+					a.reads += reqs
+					a.readBytes += float64(s.Bytes)
+				}
+				if s.Sequential {
+					a.runs++ // one long run per scan
+				} else {
+					a.runs += reqs // every random request is a run
+				}
+				if !active[i] {
+					active[i] = true
+					a.activeTime += phaseTime
+				}
+			}
+			for i := range active {
+				for k := range active {
+					if i != k {
+						acc[i].coActive[k] += phaseTime
+					}
+				}
+			}
+		}
+	}
+	if totalTime <= 0 {
+		return nil, fmt.Errorf("estimator: workload has no estimated run time")
+	}
+
+	conc := float64(w.Concurrency)
+	if conc < 1 {
+		conc = 1
+	}
+	// Concurrency overlaps sessions: wall-clock shrinks, per-object rates
+	// and stream concurrency rise.
+	wallTime := totalTime / conc
+
+	ws := make([]*rome.Workload, n)
+	for i, o := range w.Catalog.Objects {
+		a := &acc[i]
+		wl := &rome.Workload{Name: o.Name, RunCount: 1, Overlap: make([]float64, n)}
+		wl.Overlap[i] = 1
+		if a.reads+a.writes > 0 {
+			// Rates over the object's own (estimated) active time,
+			// matching the trace fitter's active-window rates.
+			activeWall := a.activeTime / conc
+			if activeWall <= 0 {
+				activeWall = wallTime
+			}
+			wl.ReadRate = a.reads / activeWall
+			wl.WriteRate = a.writes / activeWall
+			if a.reads > 0 {
+				wl.ReadSize = a.readBytes / a.reads
+			}
+			if a.writes > 0 {
+				wl.WriteSize = a.writeBytes / a.writes
+			}
+			if a.runs > 0 {
+				wl.RunCount = (a.reads + a.writes) / a.runs
+				if wl.RunCount < 1 {
+					wl.RunCount = 1
+				}
+				if wl.RunCount > 512 {
+					wl.RunCount = 512
+				}
+			}
+			wl.Concurrency = conc * (a.activeTime / totalTime)
+			if wl.Concurrency < 1 {
+				wl.Concurrency = 1
+			}
+			for k := range acc {
+				if i != k && a.activeTime > 0 {
+					ov := a.coActive[k] / a.activeTime
+					if ov > 1 {
+						ov = 1
+					}
+					wl.Overlap[k] = ov
+				}
+			}
+		}
+		ws[i] = wl
+	}
+	return rome.NewSet(ws...)
+}
+
+// EstimateOLTP produces a workload set for a TPC-C-style transaction mix:
+// per-transaction page counts and the terminal count give request rates; all
+// objects of the mix are assumed co-active (the mix runs continuously).
+func EstimateOLTP(w *benchdb.OLTPWorkload, d DeviceAssumptions) (*rome.Set, error) {
+	d = d.withDefaults()
+	n := len(w.Catalog.Objects)
+
+	// Estimated transaction cycle time per terminal: CPU plus dependent
+	// random page accesses at the assumed IOPS.
+	var cycle, weight float64
+	type traffic struct{ reads, writes, writeBytes float64 }
+	perTxn := make([]map[int]traffic, len(w.Transactions))
+	for ti, txn := range w.Transactions {
+		perTxn[ti] = map[int]traffic{}
+		pages := 0
+		for _, a := range txn.Reads {
+			i := w.Catalog.Index(a.Object)
+			if i < 0 {
+				return nil, fmt.Errorf("estimator: unknown object %q", a.Object)
+			}
+			tr := perTxn[ti][i]
+			tr.reads += float64(a.Pages)
+			perTxn[ti][i] = tr
+			pages += a.Pages
+		}
+		for _, a := range txn.Writes {
+			i := w.Catalog.Index(a.Object)
+			if i < 0 {
+				return nil, fmt.Errorf("estimator: unknown object %q", a.Object)
+			}
+			tr := perTxn[ti][i]
+			tr.writes += float64(a.Pages)
+			perTxn[ti][i] = tr
+			pages += a.Pages
+		}
+		if txn.LogBytes > 0 {
+			i := w.Catalog.Index(w.LogObject)
+			tr := perTxn[ti][i]
+			tr.writes++
+			tr.writeBytes += float64(txn.LogBytes)
+			perTxn[ti][i] = tr
+			pages++
+		}
+		cycle += txn.Weight * (txn.CPUSeconds + float64(pages)/d.RandomIOPS)
+		weight += txn.Weight
+	}
+	if weight <= 0 || cycle <= 0 {
+		return nil, fmt.Errorf("estimator: empty transaction mix")
+	}
+	txnRate := float64(w.Terminals) / (cycle / weight)
+
+	ws := make([]*rome.Workload, n)
+	logIdx := w.Catalog.Index(w.LogObject)
+	for i, o := range w.Catalog.Objects {
+		wl := &rome.Workload{Name: o.Name, RunCount: 1, Overlap: make([]float64, n)}
+		wl.Overlap[i] = 1
+		var reads, writes, writeBytes float64
+		for ti, txn := range w.Transactions {
+			share := txn.Weight / weight
+			tr := perTxn[ti][i]
+			reads += share * tr.reads
+			writes += share * tr.writes
+			writeBytes += share * tr.writeBytes
+		}
+		wl.ReadRate = txnRate * reads
+		wl.WriteRate = txnRate * writes
+		if reads > 0 {
+			wl.ReadSize = benchdb.PageSize
+		}
+		if writes > 0 {
+			wl.WriteSize = benchdb.PageSize
+			if i == logIdx && writes > 0 {
+				wl.WriteSize = writeBytes / writes
+				wl.RunCount = 64 // appends are sequential
+			}
+		}
+		if wl.TotalRate() > 0 {
+			wl.Concurrency = float64(w.Terminals)
+			for k := range ws {
+				if k != i {
+					wl.Overlap[k] = 1 // the mix runs continuously
+				}
+			}
+		}
+		ws[i] = wl
+	}
+	set, err := rome.NewSet(ws...)
+	if err != nil {
+		return nil, err
+	}
+	// Zero out overlaps against idle objects.
+	for i, wl := range set.Workloads {
+		for k := range set.Workloads {
+			if set.Workloads[k].Idle() && i != k {
+				wl.Overlap[k] = 0
+			}
+		}
+	}
+	return set, nil
+}
+
+// Merge combines estimates for workloads that run concurrently on the same
+// system (e.g. the consolidation scenario): cross-set overlaps are the
+// fraction of time both sides are active, approximated as full overlap for a
+// continuously-running OLTP side.
+func Merge(olap *rome.Set, oltp *rome.Set) *rome.Set {
+	merged := rome.Merge(olap, oltp)
+	nOLAP := olap.Len()
+	for i, w := range merged.Workloads {
+		if w.Idle() {
+			continue
+		}
+		for k, other := range merged.Workloads {
+			if i == k || other.Idle() {
+				continue
+			}
+			// Cross-set pairs: the OLTP mix is always on, so an
+			// OLAP object overlaps it whenever the OLAP object is
+			// active, and vice versa proportionally.
+			if (i < nOLAP) != (k < nOLAP) {
+				w.Overlap[k] = 0.8
+			}
+		}
+	}
+	return merged
+}

@@ -1,0 +1,245 @@
+package estimator
+
+import (
+	"testing"
+
+	"dblayout/internal/benchdb"
+	"dblayout/internal/core"
+	"dblayout/internal/layout"
+	"dblayout/internal/layouttest"
+	"dblayout/internal/nlp"
+	"dblayout/internal/replay"
+	"dblayout/internal/rubicon"
+)
+
+func TestEstimateOLAPBasics(t *testing.T) {
+	w := benchdb.OLAP163()
+	set, err := EstimateOLAP(w, DefaultAssumptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 20 {
+		t.Fatalf("estimated %d workloads, want 20", set.Len())
+	}
+	idx := func(name string) int { return set.Index(name) }
+	l := set.Workloads[idx(benchdb.Lineitem)]
+	o := set.Workloads[idx(benchdb.Orders)]
+	nation := set.Workloads[idx(benchdb.Nation)]
+
+	if l.Idle() || o.Idle() {
+		t.Fatal("hot objects estimated idle")
+	}
+	if !nation.Idle() {
+		t.Error("untouched object estimated active")
+	}
+	// LINEITEM streams at scan bandwidth while active and is sequential.
+	// (Rates are per-active-window, so they are not directly comparable
+	// across objects with different duty cycles.)
+	if l.Bandwidth() < 20<<20 {
+		t.Errorf("LINEITEM active bandwidth %.0f B/s, want scan-class", l.Bandwidth())
+	}
+	if l.RunCount < 8 {
+		t.Errorf("LINEITEM run count %.1f, want sequential", l.RunCount)
+	}
+	// The mean read size is scan-dominated (a little 8 KB random access
+	// from the index-driven plans pulls it slightly below ScanSize).
+	if l.ReadSize < 64<<10 || l.ReadSize > benchdb.ScanSize {
+		t.Errorf("LINEITEM read size %.0f, want scan-dominated", l.ReadSize)
+	}
+	// Temp space sees both reads and writes.
+	tmp := set.Workloads[idx(benchdb.TempSpace)]
+	if tmp.ReadRate <= 0 || tmp.WriteRate <= 0 {
+		t.Errorf("temp space rates %g/%g", tmp.ReadRate, tmp.WriteRate)
+	}
+	// LINEITEM and TEMP SPACE are co-active (spills during scans).
+	if ov := set.Overlap(idx(benchdb.Lineitem), idx(benchdb.TempSpace)); ov <= 0.2 {
+		t.Errorf("LINEITEM/TEMP overlap %.2f, want substantial", ov)
+	}
+}
+
+func TestEstimateOLAPConcurrencyScaling(t *testing.T) {
+	w1, w8 := benchdb.OLAP163(), benchdb.OLAP863()
+	s1, err := EstimateOLAP(w1, DefaultAssumptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s8, err := EstimateOLAP(w8, DefaultAssumptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := s1.Index(benchdb.Lineitem)
+	// Concurrency raises both the rate and the stream concurrency.
+	if s8.Workloads[i].TotalRate() <= s1.Workloads[i].TotalRate() {
+		t.Error("concurrency did not raise estimated rates")
+	}
+	if s8.Workloads[i].Concurrency <= s1.Workloads[i].Concurrency {
+		t.Error("concurrency did not raise estimated stream concurrency")
+	}
+}
+
+// TestEstimateAgreesWithTraceFit compares the estimator's descriptions with
+// trace-fitted ones, the comparison the paper draws between its two input
+// paths. The estimates should identify the same hot objects and the same
+// sequential/random classification, though rates may differ by a modest
+// factor ("may be less accurate").
+func TestEstimateAgreesWithTraceFit(t *testing.T) {
+	w := benchdb.OLAP163()
+	est, err := EstimateOLAP(w, DefaultAssumptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys := &replay.System{
+		Objects: w.Catalog.Objects,
+		Devices: []replay.DeviceSpec{
+			replay.Disk15K("d0"), replay.Disk15K("d1"),
+			replay.Disk15K("d2"), replay.Disk15K("d3"),
+		},
+	}
+	fitter := rubicon.NewFitter(names(sys), rubicon.Options{ActiveRates: true})
+	if _, err := replay.RunOLAP(sys, layout.SEE(20, 4), w, replay.Options{Seed: 1, Tracer: fitter}); err != nil {
+		t.Fatal(err)
+	}
+	fit, err := fitter.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, ew := range est.Workloads {
+		fw := fit.Workloads[i]
+		if ew.Idle() != fw.Idle() {
+			t.Errorf("%s: estimate idle=%v, fit idle=%v", ew.Name, ew.Idle(), fw.Idle())
+			continue
+		}
+		if ew.Idle() {
+			continue
+		}
+		// Same sequential/random classification.
+		if (ew.RunCount > 4) != (fw.RunCount > 4) {
+			t.Errorf("%s: estimate run %.1f vs fit run %.1f disagree on class",
+				ew.Name, ew.RunCount, fw.RunCount)
+		}
+		// Rates within an order of magnitude.
+		ratio := ew.TotalRate() / fw.TotalRate()
+		if ratio < 0.1 || ratio > 10 {
+			t.Errorf("%s: estimated rate %.1f vs fitted %.1f (ratio %.2f)",
+				ew.Name, ew.TotalRate(), fw.TotalRate(), ratio)
+		}
+	}
+}
+
+// TestAdviseFromEstimates drives the advisor entirely from estimated
+// workloads — the trace-free deployment mode — and checks it produces a
+// valid layout that separates the hot co-active pairs.
+func TestAdviseFromEstimates(t *testing.T) {
+	w := benchdb.OLAP163()
+	est, err := EstimateOLAP(w, DefaultAssumptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := &layout.Instance{
+		Objects:   w.Catalog.Objects,
+		Targets:   layouttest.Targets(4, 20<<30),
+		Workloads: est,
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	heuristic, err := layout.InitialLayout(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := core.New(inst, core.Options{
+		NLP:            nlp.Options{Seed: 1},
+		InitialLayouts: []*layout.Layout{heuristic, layout.SEE(20, 4)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := adv.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.ValidateLayout(rec.Final); err != nil {
+		t.Fatal(err)
+	}
+	ev := adv.Evaluator()
+	if see := ev.MaxUtilization(layout.SEE(20, 4)); rec.FinalObjective > see*(1+1e-9) {
+		t.Errorf("estimate-driven advice %.3f worse than SEE %.3f", rec.FinalObjective, see)
+	}
+}
+
+func TestEstimateOLTP(t *testing.T) {
+	w := benchdb.OLTP()
+	set, err := EstimateOLTP(w, DefaultAssumptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 20 {
+		t.Fatalf("estimated %d workloads, want 20", set.Len())
+	}
+	stock := set.Workloads[set.Index(benchdb.Stock)]
+	log := set.Workloads[set.Index(benchdb.XactionLog)]
+	item := set.Workloads[set.Index(benchdb.CItem)]
+	if stock.Idle() || stock.RunCount > 2 {
+		t.Errorf("STOCK should be hot and random: %v", stock)
+	}
+	if log.WriteRate <= 0 || log.RunCount < 8 {
+		t.Errorf("log should be sequential writes: %v", log)
+	}
+	if !item.Idle() {
+		t.Errorf("fully-cached ITEM should estimate idle: %v", item)
+	}
+	// Continuous mix: hot objects overlap fully.
+	if ov := set.Overlap(set.Index(benchdb.Stock), set.Index(benchdb.CCustomer)); ov != 1 {
+		t.Errorf("STOCK/C_CUSTOMER overlap %.2f, want 1", ov)
+	}
+	// ...but not with idle ones.
+	if ov := set.Overlap(set.Index(benchdb.Stock), set.Index(benchdb.CItem)); ov != 0 {
+		t.Errorf("overlap with idle object %.2f, want 0", ov)
+	}
+}
+
+func TestMergeConsolidation(t *testing.T) {
+	olap, err := EstimateOLAP(benchdb.OLAP121(), DefaultAssumptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oltp, err := EstimateOLTP(benchdb.OLTP(), DefaultAssumptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := Merge(olap, oltp)
+	if merged.Len() != 40 {
+		t.Fatalf("merged %d workloads, want 40", merged.Len())
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	li := merged.Index(benchdb.Lineitem)
+	st := merged.Index(benchdb.Stock)
+	if ov := merged.Overlap(li, st); ov < 0.5 {
+		t.Errorf("cross-set overlap %.2f, want high (OLTP always on)", ov)
+	}
+}
+
+func TestEstimatorErrors(t *testing.T) {
+	w := benchdb.OLAP121()
+	w.Queries[0].Phases[0].Streams[0].Object = "NOPE"
+	if _, err := EstimateOLAP(w, DefaultAssumptions(4)); err == nil {
+		t.Error("unknown object accepted")
+	}
+	oltp := benchdb.OLTP()
+	oltp.Transactions = nil
+	if _, err := EstimateOLTP(oltp, DefaultAssumptions(4)); err == nil {
+		t.Error("empty mix accepted")
+	}
+}
+
+func names(sys *replay.System) []string {
+	out := make([]string, len(sys.Objects))
+	for i, o := range sys.Objects {
+		out[i] = o.Name
+	}
+	return out
+}

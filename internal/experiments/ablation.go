@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dblayout/internal/benchdb"
+	"dblayout/internal/core"
+	"dblayout/internal/layout"
+	"dblayout/internal/nlp"
+)
+
+// AblationRow reports one advisor variant on the same fitted instance.
+type AblationRow struct {
+	Variant string
+	// Predicted is the model objective (max utilization) of the final
+	// layout; Replayed is the measured workload elapsed time under it.
+	Predicted float64
+	Replayed  float64
+}
+
+// Ablation evaluates the design choices DESIGN.md stars, on the OLAP1-63
+// homogeneous instance: solver strategy, initial layout, and the
+// regularization/polish pipeline. Every variant is both predicted (model
+// objective) and replayed (measured elapsed seconds).
+func Ablation(cfg *Config) ([]AblationRow, error) {
+	w := cfg.trimOLAP(benchdb.OLAP163())
+	sys := fourDisks(w.Catalog.Objects)
+	see := layout.SEE(len(sys.Objects), len(sys.Devices))
+	_, inst, err := cfg.traceAndFit(sys, see, w)
+	if err != nil {
+		return nil, err
+	}
+	heuristic, err := layout.InitialLayout(inst)
+	if err != nil {
+		return nil, err
+	}
+
+	variants := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"transfer+multistart (default)", core.Options{
+			NLP:            nlp.Options{Seed: cfg.Seed},
+			InitialLayouts: []*layout.Layout{heuristic, see},
+		}},
+		{"transfer, heuristic init only", core.Options{
+			NLP:            nlp.Options{Seed: cfg.Seed},
+			InitialLayouts: []*layout.Layout{heuristic},
+		}},
+		{"transfer, SEE init only", core.Options{
+			NLP:            nlp.Options{Seed: cfg.Seed},
+			InitialLayouts: []*layout.Layout{see},
+		}},
+		{"anneal", core.Options{
+			Solver:         core.SolverAnneal,
+			NLP:            nlp.Options{Seed: cfg.Seed, MaxIters: 20000},
+			InitialLayouts: []*layout.Layout{heuristic},
+		}},
+		{"no polish, single round", core.Options{
+			NLP:            nlp.Options{Seed: cfg.Seed},
+			InitialLayouts: []*layout.Layout{heuristic, see},
+			SkipPolish:     true,
+			Rounds:         1,
+		}},
+	}
+
+	ev := layout.NewEvaluator(inst)
+	rows := []AblationRow{{
+		Variant:   "SEE baseline",
+		Predicted: ev.MaxUtilization(see),
+	}}
+	if res, err := replayOLAP(sys, see, w, cfg); err == nil {
+		rows[0].Replayed = res.Elapsed
+	}
+
+	for _, v := range variants {
+		adv, err := core.New(inst, v.opt)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := adv.Recommend()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %q: %w", v.name, err)
+		}
+		row := AblationRow{Variant: v.name, Predicted: rec.FinalObjective}
+		res, err := replayOLAP(sys, rec.Final, w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row.Replayed = res.Elapsed
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationTable renders the ablation rows.
+func AblationTable(rows []AblationRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-32s %16s %14s\n", "Variant", "Predicted util", "Replayed (s)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-32s %15.1f%% %14.0f\n", r.Variant, 100*r.Predicted, r.Replayed)
+	}
+	return sb.String()
+}

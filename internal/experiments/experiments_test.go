@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// The quick tests exercise every experiment's full pipeline (trace, fit,
+// calibrate, advise, replay) at reduced scale so the suite stays fast. The
+// paper-scale runs live in full_test.go and are skipped with -short.
+
+func TestQuickHomogeneous(t *testing.T) {
+	cfg := NewQuickConfig()
+	runs, err := Homogeneous(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("got %d workload runs, want 2", len(runs))
+	}
+	for _, r := range runs {
+		if r.SEEElapsed <= 0 || r.OptElapsed <= 0 {
+			t.Fatalf("%s: degenerate elapsed times %g/%g", r.Workload, r.SEEElapsed, r.OptElapsed)
+		}
+		// The advisor must never produce a layout predicted worse than
+		// its own starting points, and the replayed recommendation
+		// should not catastrophically regress against SEE.
+		if r.OptElapsed > 1.15*r.SEEElapsed {
+			t.Errorf("%s: optimized %.0f s ≫ SEE %.0f s", r.Workload, r.OptElapsed, r.SEEElapsed)
+		}
+		if !r.Rec.Final.IsRegular() {
+			t.Errorf("%s: final layout not regular", r.Workload)
+		}
+		if len(r.SEEUtil) != 4 || len(r.RegularUtil) != 4 {
+			t.Errorf("%s: wrong utilization vector lengths", r.Workload)
+		}
+	}
+	tbl := Fig11Table(runs)
+	if !strings.Contains(tbl, "OLAP1-63") || !strings.Contains(tbl, "Speedup") {
+		t.Errorf("Fig11Table missing content:\n%s", tbl)
+	}
+	if s := Fig13Table(runs[0]); !strings.Contains(s, "Solver") {
+		t.Errorf("Fig13Table missing content:\n%s", s)
+	}
+	if s := LayoutTable(runs[0].Instance, runs[0].Rec.Final, 5); !strings.Contains(s, "%") {
+		t.Errorf("LayoutTable missing content:\n%s", s)
+	}
+}
+
+func TestQuickConsolidation(t *testing.T) {
+	cfg := NewQuickConfig()
+	res, err := Consolidation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SEEOLAP <= 0 || res.SEETpmC <= 0 {
+		t.Fatalf("degenerate SEE results: %+v", res)
+	}
+	if res.OptOLAP <= 0 || res.OptTpmC <= 0 {
+		t.Fatalf("degenerate optimized results: %+v", res)
+	}
+	if !strings.Contains(res.Fig15Table(), "tpmC") {
+		t.Error("Fig15Table missing tpmC row")
+	}
+	if !strings.Contains(res.Fig16Table(), "STOCK") {
+		t.Error("Fig16Table missing TPC-C objects")
+	}
+}
+
+func TestQuickHeterogeneous(t *testing.T) {
+	cfg := NewQuickConfig()
+	rows, err := Heterogeneous(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d configs, want 3", len(rows))
+	}
+	byName := map[string]HeteroRow{}
+	for _, r := range rows {
+		byName[r.Config] = r
+		if r.SEE <= 0 || r.Optimized <= 0 {
+			t.Fatalf("%s: degenerate times", r.Config)
+		}
+	}
+	if math.IsNaN(byName["3-1"].IsolateTables) {
+		t.Error("3-1 missing isolate-tables baseline")
+	}
+	if math.IsNaN(byName["2-1-1"].IsolateTablesIndexes) {
+		t.Error("2-1-1 missing isolate-tables+indexes baseline")
+	}
+	if !math.IsNaN(byName["1-1-1-1"].IsolateTables) {
+		t.Error("1-1-1-1 should not have an isolate baseline")
+	}
+	if !strings.Contains(Fig17Table(rows), "n/a") {
+		t.Error("Fig17Table should render n/a entries")
+	}
+}
+
+func TestQuickSSD(t *testing.T) {
+	cfg := NewQuickConfig()
+	rows, err := SSDStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(SSDCapacitiesGB) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(SSDCapacitiesGB))
+	}
+	for _, r := range rows {
+		if r.SEE <= 0 || r.Optimized <= 0 {
+			t.Fatalf("%d GB: degenerate times", r.CapacityGB)
+		}
+		if r.CapacityGB == 32 && math.IsNaN(r.AllOnSSD) {
+			t.Error("32 GB row should have the all-on-SSD baseline")
+		}
+		if r.CapacityGB == 4 && !math.IsNaN(r.AllOnSSD) {
+			t.Error("4 GB row cannot hold all objects on the SSD")
+		}
+	}
+	// The SSD helps: at 32 GB the optimized layout must beat disk-only
+	// style SEE striping clearly even at quick scale.
+	if rows[0].Optimized >= rows[0].SEE {
+		t.Errorf("32 GB: optimized %.0f not better than SEE %.0f", rows[0].Optimized, rows[0].SEE)
+	}
+}
+
+func TestQuickTiming(t *testing.T) {
+	cfg := NewQuickConfig()
+	rows, err := Timing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("got %d timing rows", len(rows))
+	}
+	if rows[0].N != 20 || rows[0].M != 4 {
+		t.Errorf("first row should be OLAP8-63 N=20 M=4, got N=%d M=%d", rows[0].N, rows[0].M)
+	}
+	for _, r := range rows {
+		if r.Total < r.Solve || r.Total < r.Regular {
+			t.Errorf("%s: inconsistent timing decomposition", r.Workload)
+		}
+	}
+	if !strings.Contains(Fig19Table(rows), "consolidation") {
+		t.Error("Fig19Table missing consolidation rows")
+	}
+}
+
+func TestQuickAutoAdmin(t *testing.T) {
+	cfg := NewQuickConfig()
+	res, err := AutoAdminStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AALayout == nil || !res.AALayout.IsRegular() {
+		t.Fatal("AutoAdmin layout missing or non-regular")
+	}
+	for _, v := range []float64{res.SEE163, res.AA163, res.Ours163, res.SEE863, res.AA863, res.Ours863} {
+		if v <= 0 {
+			t.Fatalf("degenerate elapsed times: %+v", res)
+		}
+	}
+	if !strings.Contains(res.Fig20Table(), "AutoAdmin") {
+		t.Error("Fig20Table missing content")
+	}
+}
+
+func TestQuickFig8(t *testing.T) {
+	cfg := NewQuickConfig()
+	series, err := Fig8CostSlice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) == 0 {
+		t.Fatal("no cost-slice series")
+	}
+	// Qualitative Fig. 8 shape on the calibrated model.
+	spec := Fig8CostSliceModel(cfg)
+	if err := Fig8Check(spec); err != nil {
+		t.Errorf("Fig. 8 shape violated: %v", err)
+	}
+	if !strings.Contains(Fig8Table(series), "chi") {
+		t.Error("Fig8Table missing header")
+	}
+}
+
+func TestQuickAblation(t *testing.T) {
+	cfg := NewQuickConfig()
+	rows, err := Ablation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 5 {
+		t.Fatalf("got %d ablation rows", len(rows))
+	}
+	if rows[0].Variant != "SEE baseline" {
+		t.Fatalf("first row %q", rows[0].Variant)
+	}
+	for _, r := range rows {
+		if r.Predicted <= 0 || r.Replayed <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+	// The default variant must be at least as good (predicted) as the
+	// SEE-only start.
+	var def, seeOnly float64
+	for _, r := range rows {
+		switch r.Variant {
+		case "transfer+multistart (default)":
+			def = r.Predicted
+		case "transfer, SEE init only":
+			seeOnly = r.Predicted
+		}
+	}
+	if def > seeOnly*(1+1e-9) {
+		t.Errorf("default %.4f worse than SEE-only start %.4f", def, seeOnly)
+	}
+	if !strings.Contains(AblationTable(rows), "Variant") {
+		t.Error("AblationTable missing header")
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import "testing"
+
+// These tests run the paper-scale experiments and log the reproduced tables.
+// They are skipped with -short; the quick variants in experiments_test.go
+// cover the same code paths at reduced scale.
+
+func TestFullHeterogeneous(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale experiment")
+	}
+	rows, err := Heterogeneous(NewConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", Fig17Table(rows))
+}
+
+func TestFullSSD(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale experiment")
+	}
+	rows, err := SSDStudy(NewConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", Fig18Table(rows))
+}
+
+func TestFullConsolidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale experiment")
+	}
+	res, err := Consolidation(NewConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s\n%s", res.Fig15Table(), res.Fig16Table())
+}
+
+func TestFullAutoAdmin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale experiment")
+	}
+	res, err := AutoAdminStudy(NewConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Fig20Table())
+}
+
+func TestFullTiming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale experiment")
+	}
+	rows, err := Timing(NewConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", Fig19Table(rows))
+}
+
+func TestFullFig8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale experiment")
+	}
+	cfg := NewConfig()
+	series, err := Fig8CostSlice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", Fig8Table(series))
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dblayout/internal/benchdb"
+	"dblayout/internal/layout"
+	"dblayout/internal/replay"
+)
+
+// HeteroRow is one storage-target configuration of paper Fig. 17, with the
+// elapsed OLAP8-63 times of every applicable layout.
+type HeteroRow struct {
+	Config string
+	// SEE is the stripe-everything-everywhere baseline.
+	SEE float64
+	// IsolateTables places the TPC-H tables on the large target and the
+	// rest on the small one (3-1 config only; NaN otherwise).
+	IsolateTables float64
+	// IsolateTablesIndexes isolates tables on the large target, indexes
+	// and temp space on the two small ones (2-1-1 only; NaN otherwise).
+	IsolateTablesIndexes float64
+	// Optimized is the advisor's layout.
+	Optimized float64
+}
+
+// Heterogeneous runs the Sec. 6.4 disk-only heterogeneity study: the four
+// 18.4 GB disks regrouped by the RAID controller into "3-1" and "2-1-1"
+// configurations, plus the homogeneous "1-1-1-1" reference, all under
+// OLAP8-63.
+func Heterogeneous(cfg *Config) ([]HeteroRow, error) {
+	w := cfg.trimOLAP(benchdb.OLAP863())
+	objects := w.Catalog.Objects
+
+	configs := []struct {
+		name    string
+		devices []replay.DeviceSpec
+	}{
+		{"3-1", []replay.DeviceSpec{replay.RAID0Disks("raid3", 3), replay.Disk15K("disk3")}},
+		{"2-1-1", []replay.DeviceSpec{replay.RAID0Disks("raid2", 2), replay.Disk15K("disk2"), replay.Disk15K("disk3")}},
+		{"1-1-1-1", []replay.DeviceSpec{replay.Disk15K("disk0"), replay.Disk15K("disk1"), replay.Disk15K("disk2"), replay.Disk15K("disk3")}},
+	}
+
+	var rows []HeteroRow
+	for _, c := range configs {
+		sys := &replay.System{Objects: objects, Devices: c.devices}
+		row := HeteroRow{Config: c.name, IsolateTables: math.NaN(), IsolateTablesIndexes: math.NaN()}
+
+		see := layout.SEE(len(objects), len(c.devices))
+		seeRes, inst, err := cfg.traceAndFit(sys, see, w)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s SEE: %w", c.name, err)
+		}
+		row.SEE = seeRes.Elapsed
+
+		switch c.name {
+		case "3-1":
+			// Tables on the 3-disk RAID0, everything else on the
+			// remaining disk.
+			iso, err := layout.ByKind(inst, layout.KindAssignment{
+				ByKind:  map[layout.ObjectKind][]int{layout.KindTable: {0}},
+				Default: []int{1},
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := replayOLAP(sys, iso, w, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row.IsolateTables = res.Elapsed
+		case "2-1-1":
+			// Tables on the 2-disk RAID0, indexes on one single
+			// disk, temporary space on the other.
+			iso, err := layout.ByKind(inst, layout.KindAssignment{
+				ByKind: map[layout.ObjectKind][]int{
+					layout.KindTable: {0},
+					layout.KindIndex: {1},
+					layout.KindTemp:  {2},
+				},
+				Default: []int{2},
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := replayOLAP(sys, iso, w, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row.IsolateTablesIndexes = res.Elapsed
+		}
+
+		rec, err := cfg.advise(inst)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s advise: %w", c.name, err)
+		}
+		optRes, err := replayOLAP(sys, rec.Final, w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row.Optimized = optRes.Elapsed
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig17Table renders the paper's Fig. 17 rows.
+func Fig17Table(rows []HeteroRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %10s %14s %20s %10s %9s\n",
+		"Config", "SEE (s)", "iso tables", "iso tables+idx", "Opt (s)", "Speedup")
+	na := func(v float64) string {
+		if math.IsNaN(v) {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.0f", v)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %10.0f %14s %20s %10.0f %9s\n",
+			r.Config, r.SEE, na(r.IsolateTables), na(r.IsolateTablesIndexes),
+			r.Optimized, speedup(r.SEE, r.Optimized))
+	}
+	return sb.String()
+}

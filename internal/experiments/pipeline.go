@@ -1,0 +1,149 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Sec. 6). Each experiment follows the paper's methodology
+// end-to-end:
+//
+//  1. run the SQL workload under the SEE baseline layout on the simulated
+//     storage system, capturing the block I/O trace;
+//  2. fit Rome-style workload descriptions per object from the trace
+//     (Rubicon's role);
+//  3. calibrate black-box cost models for each storage target type;
+//  4. run the layout advisor (initial layout -> NLP solve -> regularize);
+//  5. replay the workload under the recommended layout and the baselines,
+//     reporting the paper's metrics (elapsed seconds, tpmC, predicted
+//     utilizations, advisor running time).
+package experiments
+
+import (
+	"fmt"
+
+	"dblayout/internal/benchdb"
+	"dblayout/internal/core"
+	"dblayout/internal/costmodel"
+	"dblayout/internal/layout"
+	"dblayout/internal/nlp"
+	"dblayout/internal/replay"
+	"dblayout/internal/rubicon"
+)
+
+// Config bundles the shared experiment settings. The zero value is NOT
+// usable; construct with NewConfig.
+type Config struct {
+	// Cache memoizes cost-model calibrations across experiments.
+	Cache *costmodel.Cache
+	// Grid is the calibration sweep.
+	Grid costmodel.Grid
+	// Seed drives replays and the solver.
+	Seed int64
+	// Quick shrinks workloads (fewer queries) for use in tests; the
+	// paper-scale runs leave it false.
+	Quick bool
+}
+
+// NewConfig returns the standard experiment configuration.
+func NewConfig() *Config {
+	return &Config{
+		Cache: costmodel.NewCache(),
+		Grid:  costmodel.DefaultGrid(),
+		Seed:  1,
+	}
+}
+
+// NewQuickConfig returns a reduced configuration for tests: coarse
+// calibration and truncated workloads.
+func NewQuickConfig() *Config {
+	return &Config{
+		Cache: costmodel.NewCache(),
+		Grid:  costmodel.FastGrid(),
+		Seed:  1,
+		Quick: true,
+	}
+}
+
+// trimOLAP shortens a workload in Quick mode.
+func (c *Config) trimOLAP(w *benchdb.OLAPWorkload) *benchdb.OLAPWorkload {
+	if !c.Quick || len(w.Queries) <= 12 {
+		return w
+	}
+	out := *w
+	out.Queries = w.Queries[:12]
+	return &out
+}
+
+// fourDisks builds the homogeneous 1-1-1-1 system of the paper's Sec. 6.2.
+func fourDisks(objects []layout.Object) *replay.System {
+	return &replay.System{
+		Objects: objects,
+		Devices: []replay.DeviceSpec{
+			replay.Disk15K("disk0"), replay.Disk15K("disk1"),
+			replay.Disk15K("disk2"), replay.Disk15K("disk3"),
+		},
+	}
+}
+
+// names extracts the object names of a system.
+func names(sys *replay.System) []string {
+	out := make([]string, len(sys.Objects))
+	for i, o := range sys.Objects {
+		out[i] = o.Name
+	}
+	return out
+}
+
+// advise runs the full advisor pipeline on an instance, multi-starting from
+// both the Sec. 4.2 heuristic initial layout and SEE (the "repeat?" loop of
+// Fig. 4) and keeping the better final layout.
+func (c *Config) advise(inst *layout.Instance) (*core.Recommendation, error) {
+	heuristic, err := layout.InitialLayout(inst)
+	if err != nil {
+		return nil, err
+	}
+	adv, err := core.New(inst, core.Options{
+		NLP:            nlp.Options{Seed: c.Seed},
+		InitialLayouts: []*layout.Layout{heuristic, layout.SEE(inst.N(), inst.M())},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return adv.Recommend()
+}
+
+// traceAndFit replays the workload under the given layout with an online
+// workload fitter attached (the streaming equivalent of tracing plus
+// Rubicon analysis) and returns the replay result plus the advisor's
+// problem instance.
+func (c *Config) traceAndFit(sys *replay.System, l *layout.Layout, w *benchdb.OLAPWorkload) (*replay.OLAPResult, *layout.Instance, error) {
+	// Rates are fitted over each object's *active* windows rather than the
+	// whole trace: OLAP phases are bursts, and burst-rate contention is
+	// what the interference model needs to see.
+	fitter := rubicon.NewFitter(names(sys), rubicon.Options{ActiveRates: true})
+	res, err := replay.RunOLAP(sys, l, w, replay.Options{Seed: c.Seed, Tracer: fitter})
+	if err != nil {
+		return nil, nil, err
+	}
+	set, err := fitter.Fit()
+	if err != nil {
+		return nil, nil, err
+	}
+	inst := &layout.Instance{
+		Objects:   sys.Objects,
+		Targets:   sys.Targets(c.Cache, c.Grid),
+		Workloads: set,
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return res, inst, nil
+}
+
+// replayOLAP replays a workload under a layout without tracing.
+func replayOLAP(sys *replay.System, l *layout.Layout, w *benchdb.OLAPWorkload, cfg *Config) (*replay.OLAPResult, error) {
+	return replay.RunOLAP(sys, l, w, replay.Options{Seed: cfg.Seed})
+}
+
+// speedup formats a paper-style speedup factor.
+func speedup(base, opt float64) string {
+	if opt <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", base/opt)
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dblayout/internal/benchdb"
+	"dblayout/internal/layout"
+	"dblayout/internal/replay"
+)
+
+// SSDRow is one SSD-capacity configuration of paper Fig. 18, under OLAP8-63
+// on four disks plus an SSD of the given capacity.
+type SSDRow struct {
+	CapacityGB int
+	// SEE stripes everything over the four disks and the SSD.
+	SEE float64
+	// AllOnSSD places every object on the SSD (only when it fits, as in
+	// the paper's table; NaN otherwise).
+	AllOnSSD float64
+	// Optimized is the advisor's layout.
+	Optimized float64
+}
+
+// SSDCapacitiesGB are the paper's Fig. 18 SSD capacity points.
+var SSDCapacitiesGB = []int{32, 10, 6, 4}
+
+// SSDStudy runs the Sec. 6.4 disk+SSD heterogeneity study.
+func SSDStudy(cfg *Config) ([]SSDRow, error) {
+	w := cfg.trimOLAP(benchdb.OLAP863())
+	objects := w.Catalog.Objects
+
+	var rows []SSDRow
+	for _, capGB := range SSDCapacitiesGB {
+		devices := []replay.DeviceSpec{
+			replay.Disk15K("disk0"), replay.Disk15K("disk1"),
+			replay.Disk15K("disk2"), replay.Disk15K("disk3"),
+			replay.SSD("ssd", int64(capGB)<<30),
+		}
+		sys := &replay.System{Objects: objects, Devices: devices}
+		row := SSDRow{CapacityGB: capGB, AllOnSSD: math.NaN()}
+
+		see := layout.SEE(len(objects), len(devices))
+		seeRes, inst, err := cfg.traceAndFit(sys, see, w)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ssd %dGB SEE: %w", capGB, err)
+		}
+		row.SEE = seeRes.Elapsed
+
+		// All-objects-on-SSD baseline, where capacity permits (the
+		// paper reports it for the 32 GB configuration only).
+		if capGB == 32 {
+			all := layout.AllOnOne(len(objects), len(devices), 4)
+			res, err := replayOLAP(sys, all, w, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row.AllOnSSD = res.Elapsed
+		}
+
+		rec, err := cfg.advise(inst)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ssd %dGB advise: %w", capGB, err)
+		}
+		optRes, err := replayOLAP(sys, rec.Final, w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row.Optimized = optRes.Elapsed
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig18Table renders the paper's Fig. 18 rows.
+func Fig18Table(rows []SSDRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %10s %14s %12s %9s\n", "SSD Cap", "SEE (s)", "All on SSD", "Opt (s)", "Speedup")
+	for _, r := range rows {
+		all := "n/a"
+		if !math.IsNaN(r.AllOnSSD) {
+			all = fmt.Sprintf("%.0f", r.AllOnSSD)
+		}
+		fmt.Fprintf(&sb, "%4d GB  %10.0f %14s %12.0f %9s\n",
+			r.CapacityGB, r.SEE, all, r.Optimized, speedup(r.SEE, r.Optimized))
+	}
+	return sb.String()
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dblayout/internal/benchdb"
+	"dblayout/internal/layout"
+	"dblayout/internal/replay"
+	"dblayout/internal/rome"
+	"dblayout/internal/rubicon"
+)
+
+// TimingRow is one problem-size point of paper Fig. 19: advisor running time
+// split into solver and regularization.
+type TimingRow struct {
+	Workload string
+	N, M     int
+	Solve    time.Duration
+	Regular  time.Duration
+	Total    time.Duration
+}
+
+// Timing measures the layout advisor's running time across the paper's
+// Fig. 19 problem sizes: OLAP8-63 (N=20, M=4), the consolidation workload
+// (N=40, M=4..40), and replicated consolidation workloads (N=80..160,
+// M=10).
+func Timing(cfg *Config) ([]TimingRow, error) {
+	olapInst, err := fittedOLAP863(cfg)
+	if err != nil {
+		return nil, err
+	}
+	consSet, consObjects, err := fittedConsolidation(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	type point struct {
+		name string
+		set  *rome.Set
+		objs []layout.Object
+		m    int
+	}
+	points := []point{
+		{"OLAP8-63", olapInst.Workloads, olapInst.Objects, 4},
+		{"consolidation", consSet, consObjects, 4},
+		{"consolidation", consSet, consObjects, 10},
+		{"consolidation", consSet, consObjects, 20},
+		{"consolidation", consSet, consObjects, 40},
+		{"2xconsolidation", consSet.Replicate(2), replicateObjects(consObjects, 2), 10},
+		{"3xconsolidation", consSet.Replicate(3), replicateObjects(consObjects, 3), 10},
+		{"4xconsolidation", consSet.Replicate(4), replicateObjects(consObjects, 4), 10},
+	}
+	if cfg.Quick {
+		points = points[:3]
+	}
+
+	diskModel := cfg.Cache.Get(replay.Disk15K("d").ModelKey(), replay.Disk15K("d").Factory(), cfg.Grid)
+
+	var rows []TimingRow
+	for _, p := range points {
+		targets := make([]*layout.Target, p.m)
+		for j := range targets {
+			targets[j] = &layout.Target{
+				Name: fmt.Sprintf("disk%d", j),
+				// Plain 18.4 GB disks hold the base problems; the
+				// replicated ones need roomier (but identically
+				// modelled) targets, as the paper's synthetic
+				// scaling implies.
+				Capacity: 64 << 30,
+				Model:    diskModel,
+			}
+		}
+		inst := &layout.Instance{Objects: p.objs, Targets: targets, Workloads: p.set}
+		if err := inst.Validate(); err != nil {
+			return nil, err
+		}
+		rec, err := cfg.advise(inst)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: timing %s N=%d M=%d: %w", p.name, len(p.objs), p.m, err)
+		}
+		rows = append(rows, TimingRow{
+			Workload: p.name,
+			N:        len(p.objs),
+			M:        p.m,
+			Solve:    rec.SolveTime,
+			Regular:  rec.RegularizeTime,
+			Total:    rec.SolveTime + rec.RegularizeTime,
+		})
+	}
+	return rows, nil
+}
+
+// fittedOLAP863 produces the advisor instance for OLAP8-63 on four disks.
+func fittedOLAP863(cfg *Config) (*layout.Instance, error) {
+	w := cfg.trimOLAP(benchdb.OLAP863())
+	sys := fourDisks(w.Catalog.Objects)
+	see := layout.SEE(len(sys.Objects), len(sys.Devices))
+	_, inst, err := cfg.traceAndFit(sys, see, w)
+	return inst, err
+}
+
+// fittedConsolidation produces the fitted 40-object consolidation workload.
+func fittedConsolidation(cfg *Config) (*rome.Set, []layout.Object, error) {
+	olap := cfg.trimOLAP(benchdb.OLAP121())
+	oltp := benchdb.OLTP()
+	objects := append(append([]layout.Object{}, olap.Catalog.Objects...), oltp.Catalog.Objects...)
+	sys := fourDisks(objects)
+	see := layout.SEE(len(objects), len(sys.Devices))
+	// Whole-trace rates: the OLTP side runs continuously, so unlike the
+	// pure-OLAP studies there is no burst structure to recover, and
+	// active-window rates would overweight the OLAP phases against the
+	// steady transaction load.
+	fitter := rubicon.NewFitter(names(sys), rubicon.Options{})
+	if _, _, err := replay.RunConsolidated(sys, see, olap, oltp, consolidatedWarmup,
+		replay.Options{Seed: cfg.Seed, Tracer: fitter}); err != nil {
+		return nil, nil, err
+	}
+	set, err := fitter.Fit()
+	if err != nil {
+		return nil, nil, err
+	}
+	return set, objects, nil
+}
+
+// replicateObjects mirrors rome.Set.Replicate's naming for object lists.
+func replicateObjects(objs []layout.Object, n int) []layout.Object {
+	out := make([]layout.Object, 0, len(objs)*n)
+	for rep := 0; rep < n; rep++ {
+		for _, o := range objs {
+			c := o
+			if rep > 0 {
+				c.Name = fmt.Sprintf("%s#%d", o.Name, rep+1)
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Fig19Table renders the paper's Fig. 19 rows.
+func Fig19Table(rows []TimingRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %5s %5s %10s %14s %10s\n", "Workload", "N", "M", "Solver", "Regularization", "TOTAL")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-16s %5d %5d %9.2fs %13.2fs %9.2fs\n",
+			r.Workload, r.N, r.M, r.Solve.Seconds(), r.Regular.Seconds(), r.Total.Seconds())
+	}
+	return sb.String()
+}

@@ -1,0 +1,124 @@
+package layout
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SEE returns the stripe-everything-everywhere baseline: every object spread
+// evenly across all targets (Sec. 1). It is regular by construction.
+func SEE(n, m int) *Layout {
+	l := New(n, m)
+	f := 1 / float64(m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			l.Set(i, j, f)
+		}
+	}
+	return l
+}
+
+// AllOnOne places every object on a single target. Used for the paper's
+// "all objects on the SSD" baseline (Fig. 18).
+func AllOnOne(n, m, target int) *Layout {
+	l := New(n, m)
+	for i := 0; i < n; i++ {
+		l.Set(i, target, 1)
+	}
+	return l
+}
+
+// KindAssignment maps object kinds to the target set each kind should be
+// striped across. Kinds without an entry fall back to Default.
+type KindAssignment struct {
+	ByKind  map[ObjectKind][]int
+	Default []int
+}
+
+// ByKind builds a baseline layout that stripes each object evenly across the
+// targets assigned to its kind — the "isolate tables", "isolate tables and
+// indexes" style of administrator heuristic the paper uses as additional
+// baselines for heterogeneous configurations (Sec. 6.4).
+func ByKind(inst *Instance, a KindAssignment) (*Layout, error) {
+	l := New(inst.N(), inst.M())
+	for i, o := range inst.Objects {
+		ts, ok := a.ByKind[o.Kind]
+		if !ok {
+			ts = a.Default
+		}
+		if len(ts) == 0 {
+			return nil, fmt.Errorf("layout: no targets assigned for object %q (kind %s)", o.Name, o.Kind)
+		}
+		for _, j := range ts {
+			if j < 0 || j >= inst.M() {
+				return nil, fmt.Errorf("layout: kind assignment references target %d of %d", j, inst.M())
+			}
+		}
+		l.SetRow(i, RegularRow(inst.M(), ts))
+	}
+	if err := inst.ValidateLayout(l); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// sharesSeparated reports whether placing object i on target j would
+// co-locate it with an object it must be separated from.
+func sharesSeparated(c *Constraints, l *Layout, i, j int) bool {
+	for _, k := range c.SeparatedFrom(i) {
+		if l.At(k, j) > Epsilon {
+			return true
+		}
+	}
+	return false
+}
+
+// InitialLayout implements the paper's heuristic for choosing the solver's
+// starting point (Sec. 4.2): objects are placed one at a time in decreasing
+// order of total request rate; each object goes, in its entirety, to the
+// target with the lowest total assigned request rate among those with enough
+// remaining capacity. The heuristic ignores interference and target
+// performance — that is the solver's job.
+func InitialLayout(inst *Instance) (*Layout, error) {
+	n, m := inst.N(), inst.M()
+	l := New(n, m)
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	ws := inst.Workloads.Workloads
+	sort.SliceStable(order, func(a, b int) bool {
+		return ws[order[a]].TotalRate() > ws[order[b]].TotalRate()
+	})
+
+	assignedRate := make([]float64, m)
+	remaining := make([]float64, m)
+	for j, t := range inst.Targets {
+		remaining[j] = float64(t.Capacity)
+	}
+
+	for _, i := range order {
+		size := float64(inst.Objects[i].Size)
+		best := -1
+		for j := 0; j < m; j++ {
+			if remaining[j] < size || !inst.Constraints.Permits(i, j) {
+				continue
+			}
+			if sharesSeparated(inst.Constraints, l, i, j) {
+				continue
+			}
+			if best < 0 || assignedRate[j] < assignedRate[best] {
+				best = j
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("layout: no target can hold object %q (%d bytes)",
+				inst.Objects[i].Name, inst.Objects[i].Size)
+		}
+		l.Set(i, best, 1)
+		assignedRate[best] += ws[i].TotalRate()
+		remaining[best] -= size
+	}
+	return l, nil
+}

@@ -1,0 +1,144 @@
+package layout
+
+import "fmt"
+
+// Constraints are administrative placement restrictions. The paper (Sec. 4)
+// highlights that the NLP formulation makes such constraints easy to add —
+// "if administrative constraints require certain objects to be laid out onto
+// particular targets, we can easily add such constraints to the NLP problem
+// before solving it." All solvers, the regularizer and the polish pass
+// honour them.
+type Constraints struct {
+	// Allow restricts an object to the listed targets. Objects without
+	// an entry may use any target.
+	Allow map[int][]int
+	// Deny forbids an object from the listed targets.
+	Deny map[int][]int
+	// Separate lists object pairs that must never share a target (e.g. a
+	// table and its write-ahead log, for failure isolation).
+	Separate [][2]int
+}
+
+// Permits reports whether object i may be placed (in part) on target j.
+func (c *Constraints) Permits(i, j int) bool {
+	if c == nil {
+		return true
+	}
+	if allowed, ok := c.Allow[i]; ok {
+		found := false
+		for _, t := range allowed {
+			if t == j {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	for _, t := range c.Deny[i] {
+		if t == j {
+			return false
+		}
+	}
+	return true
+}
+
+// SeparatedFrom returns the objects that must not share a target with i.
+func (c *Constraints) SeparatedFrom(i int) []int {
+	if c == nil {
+		return nil
+	}
+	var out []int
+	for _, p := range c.Separate {
+		switch i {
+		case p[0]:
+			out = append(out, p[1])
+		case p[1]:
+			out = append(out, p[0])
+		}
+	}
+	return out
+}
+
+// Validate checks index ranges and satisfiability of the Allow/Deny sets.
+func (c *Constraints) Validate(n, m int) error {
+	if c == nil {
+		return nil
+	}
+	checkIdx := func(kind string, i, limit int) error {
+		if i < 0 || i >= limit {
+			return fmt.Errorf("layout: constraint %s index %d outside [0,%d)", kind, i, limit)
+		}
+		return nil
+	}
+	for i, ts := range c.Allow {
+		if err := checkIdx("object", i, n); err != nil {
+			return err
+		}
+		if len(ts) == 0 {
+			return fmt.Errorf("layout: object %d allowed on no targets", i)
+		}
+		for _, j := range ts {
+			if err := checkIdx("target", j, m); err != nil {
+				return err
+			}
+		}
+	}
+	for i, ts := range c.Deny {
+		if err := checkIdx("object", i, n); err != nil {
+			return err
+		}
+		for _, j := range ts {
+			if err := checkIdx("target", j, m); err != nil {
+				return err
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		any := false
+		for j := 0; j < m; j++ {
+			if c.Permits(i, j) {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return fmt.Errorf("layout: object %d has no permitted target", i)
+		}
+	}
+	for _, p := range c.Separate {
+		if err := checkIdx("object", p[0], n); err != nil {
+			return err
+		}
+		if err := checkIdx("object", p[1], n); err != nil {
+			return err
+		}
+		if p[0] == p[1] {
+			return fmt.Errorf("layout: object %d separated from itself", p[0])
+		}
+	}
+	return nil
+}
+
+// Check verifies that a layout satisfies the constraints.
+func (c *Constraints) Check(l *Layout) error {
+	if c == nil {
+		return nil
+	}
+	for i := 0; i < l.N; i++ {
+		for j := 0; j < l.M; j++ {
+			if l.At(i, j) > Epsilon && !c.Permits(i, j) {
+				return fmt.Errorf("layout: object %d placed on forbidden target %d", i, j)
+			}
+		}
+	}
+	for _, p := range c.Separate {
+		for j := 0; j < l.M; j++ {
+			if l.At(p[0], j) > Epsilon && l.At(p[1], j) > Epsilon {
+				return fmt.Errorf("layout: separated objects %d and %d share target %d", p[0], p[1], j)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package layout
+
+import "testing"
+
+func TestConstraintsPermits(t *testing.T) {
+	c := &Constraints{
+		Allow: map[int][]int{0: {1, 2}},
+		Deny:  map[int][]int{1: {0}},
+	}
+	if c.Permits(0, 0) {
+		t.Error("allow-list violated")
+	}
+	if !c.Permits(0, 1) || !c.Permits(0, 2) {
+		t.Error("allow-listed targets rejected")
+	}
+	if c.Permits(1, 0) {
+		t.Error("deny-list violated")
+	}
+	if !c.Permits(1, 3) || !c.Permits(2, 0) {
+		t.Error("unconstrained placements rejected")
+	}
+	var nilC *Constraints
+	if !nilC.Permits(5, 5) {
+		t.Error("nil constraints must permit everything")
+	}
+}
+
+func TestConstraintsSeparatedFrom(t *testing.T) {
+	c := &Constraints{Separate: [][2]int{{0, 1}, {2, 0}}}
+	got := c.SeparatedFrom(0)
+	if len(got) != 2 {
+		t.Fatalf("SeparatedFrom(0) = %v", got)
+	}
+	if got := c.SeparatedFrom(3); got != nil {
+		t.Fatalf("SeparatedFrom(3) = %v, want nil", got)
+	}
+	var nilC *Constraints
+	if nilC.SeparatedFrom(0) != nil {
+		t.Error("nil constraints separate nothing")
+	}
+}
+
+func TestConstraintsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		c    *Constraints
+		ok   bool
+	}{
+		{"nil", nil, true},
+		{"valid", &Constraints{Allow: map[int][]int{0: {1}}, Separate: [][2]int{{0, 1}}}, true},
+		{"object-range", &Constraints{Allow: map[int][]int{9: {0}}}, false},
+		{"target-range", &Constraints{Allow: map[int][]int{0: {9}}}, false},
+		{"empty-allow", &Constraints{Allow: map[int][]int{0: {}}}, false},
+		{"deny-all", &Constraints{Deny: map[int][]int{0: {0, 1, 2}}}, false},
+		{"self-separate", &Constraints{Separate: [][2]int{{1, 1}}}, false},
+		{"separate-range", &Constraints{Separate: [][2]int{{0, 7}}}, false},
+		{"allow-deny-conflict", &Constraints{Allow: map[int][]int{0: {1}}, Deny: map[int][]int{0: {1}}}, false},
+	}
+	for _, tc := range cases {
+		err := tc.c.Validate(3, 3)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: invalid constraints accepted", tc.name)
+		}
+	}
+}
+
+func TestConstraintsCheck(t *testing.T) {
+	c := &Constraints{
+		Deny:     map[int][]int{0: {0}},
+		Separate: [][2]int{{1, 2}},
+	}
+	l := New(3, 2)
+	l.SetRow(0, []float64{0, 1})
+	l.SetRow(1, []float64{1, 0})
+	l.SetRow(2, []float64{0, 1})
+	if err := c.Check(l); err != nil {
+		t.Fatalf("valid layout rejected: %v", err)
+	}
+	l.SetRow(0, []float64{1, 0})
+	if err := c.Check(l); err == nil {
+		t.Error("deny violation accepted")
+	}
+	l.SetRow(0, []float64{0, 1})
+	l.SetRow(2, []float64{0.5, 0.5})
+	if err := c.Check(l); err == nil {
+		t.Error("separation violation accepted")
+	}
+}
+
+func TestInitialLayoutHonorsConstraints(t *testing.T) {
+	inst := testInstance(t, 4)
+	inst.Constraints = &Constraints{
+		Allow:    map[int][]int{0: {2}}, // T1 pinned to target 2
+		Deny:     map[int][]int{2: {0}}, // IX never on target 0
+		Separate: [][2]int{{0, 1}},      // T1 and T2 apart
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	l, err := InitialLayout(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.ValidateLayout(l); err != nil {
+		t.Fatalf("initial layout violates constraints: %v", err)
+	}
+	if l.At(0, 2) != 1 {
+		t.Errorf("pinned object not on target 2: %v", l.Row(0))
+	}
+}
+
+func TestValidateLayoutChecksConstraints(t *testing.T) {
+	inst := testInstance(t, 4)
+	inst.Constraints = &Constraints{Deny: map[int][]int{0: {0}}}
+	l := SEE(4, 4) // places object 0 on target 0
+	if err := inst.ValidateLayout(l); err == nil {
+		t.Fatal("constraint-violating layout accepted")
+	}
+}

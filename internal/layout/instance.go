@@ -1,0 +1,162 @@
+package layout
+
+import (
+	"fmt"
+
+	"dblayout/internal/costmodel"
+	"dblayout/internal/rome"
+)
+
+// ObjectKind classifies database objects, which some baseline heuristics
+// (isolate tables, isolate tables and indexes) need.
+type ObjectKind int
+
+// Object kinds.
+const (
+	KindTable ObjectKind = iota
+	KindIndex
+	KindLog
+	KindTemp
+)
+
+// String returns the kind name.
+func (k ObjectKind) String() string {
+	switch k {
+	case KindTable:
+		return "table"
+	case KindIndex:
+		return "index"
+	case KindLog:
+		return "log"
+	case KindTemp:
+		return "temp"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Object is a database object to be laid out: a table, index, log, or
+// temporary tablespace.
+type Object struct {
+	Name string
+	Size int64 // bytes
+	Kind ObjectKind
+}
+
+// Target is a storage target: an independent container (device or RAID
+// group) with a capacity and a calibrated cost model.
+type Target struct {
+	Name     string
+	Capacity int64
+	Model    *costmodel.Model
+}
+
+// DefaultStripeSize is the LVM stripe size assumed by the layout model and
+// by the replay engine's logical volumes (128 KiB).
+const DefaultStripeSize = 128 << 10
+
+// Instance is one layout problem: N objects with workload descriptions to be
+// laid out on M targets (paper Fig. 3).
+type Instance struct {
+	Objects []Object
+	Targets []*Target
+	// Workloads holds one description per object, in object order.
+	Workloads *rome.Set
+	// StripeSize is the stripe size of the LVM implementing layouts.
+	// Zero selects DefaultStripeSize.
+	StripeSize int64
+	// Constraints are optional administrative placement restrictions.
+	Constraints *Constraints
+}
+
+// N returns the number of objects.
+func (in *Instance) N() int { return len(in.Objects) }
+
+// M returns the number of targets.
+func (in *Instance) M() int { return len(in.Targets) }
+
+// Sizes returns object sizes in object order.
+func (in *Instance) Sizes() []int64 {
+	s := make([]int64, len(in.Objects))
+	for i, o := range in.Objects {
+		s[i] = o.Size
+	}
+	return s
+}
+
+// Capacities returns target capacities in target order.
+func (in *Instance) Capacities() []int64 {
+	c := make([]int64, len(in.Targets))
+	for j, t := range in.Targets {
+		c[j] = t.Capacity
+	}
+	return c
+}
+
+func (in *Instance) stripeSize() float64 {
+	if in.StripeSize > 0 {
+		return float64(in.StripeSize)
+	}
+	return DefaultStripeSize
+}
+
+// Validate checks the instance for consistency.
+func (in *Instance) Validate() error {
+	if len(in.Objects) == 0 {
+		return fmt.Errorf("layout: instance with no objects")
+	}
+	if len(in.Targets) == 0 {
+		return fmt.Errorf("layout: instance with no targets")
+	}
+	if in.Workloads == nil || in.Workloads.Len() != len(in.Objects) {
+		return fmt.Errorf("layout: instance with %d objects but %d workloads",
+			len(in.Objects), workloadLen(in.Workloads))
+	}
+	if err := in.Workloads.Validate(); err != nil {
+		return err
+	}
+	var total, cap int64
+	for i, o := range in.Objects {
+		if o.Size <= 0 {
+			return fmt.Errorf("layout: object %q has size %d", o.Name, o.Size)
+		}
+		if o.Name != in.Workloads.Workloads[i].Name {
+			return fmt.Errorf("layout: object %d is %q but workload %d is %q",
+				i, o.Name, i, in.Workloads.Workloads[i].Name)
+		}
+		total += o.Size
+	}
+	for _, t := range in.Targets {
+		if t.Capacity <= 0 {
+			return fmt.Errorf("layout: target %q has capacity %d", t.Name, t.Capacity)
+		}
+		if t.Model == nil {
+			return fmt.Errorf("layout: target %q has no cost model", t.Name)
+		}
+		cap += t.Capacity
+	}
+	if total > cap {
+		return fmt.Errorf("layout: objects need %d bytes but targets provide %d", total, cap)
+	}
+	return in.Constraints.Validate(in.N(), in.M())
+}
+
+func workloadLen(s *rome.Set) int {
+	if s == nil {
+		return 0
+	}
+	return s.Len()
+}
+
+// ValidateLayout checks that l is a valid layout for this instance.
+func (in *Instance) ValidateLayout(l *Layout) error {
+	if l.N != in.N() || l.M != in.M() {
+		return fmt.Errorf("layout: %dx%d layout for a %dx%d instance", l.N, l.M, in.N(), in.M())
+	}
+	if err := l.CheckIntegrity(); err != nil {
+		return err
+	}
+	if err := l.CheckCapacity(in.Sizes(), in.Capacities()); err != nil {
+		return err
+	}
+	return in.Constraints.Check(l)
+}

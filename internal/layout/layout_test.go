@@ -1,0 +1,436 @@
+package layout
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dblayout/internal/costmodel"
+	"dblayout/internal/rome"
+)
+
+// testModel builds a hand-authored disk-like cost model: random requests
+// cost ~5 ms, sequential ~0.2 ms, with the sequential advantage collapsing
+// as contention grows.
+func testModel() *costmodel.Model {
+	sizes := []float64{4096, 131072}
+	runs := []float64{1, 64}
+	mk := func(base float64) costmodel.Table {
+		t := costmodel.Table{Sizes: sizes, RunCounts: runs}
+		t.Curves = make([][]costmodel.Curve, len(sizes))
+		for si := range sizes {
+			t.Curves[si] = make([]costmodel.Curve, len(runs))
+			for ri := range runs {
+				xfer := base * sizes[si] / 65536
+				var c costmodel.Curve
+				if ri == 0 { // random: flat-ish, slight scheduling gain
+					c = costmodel.Curve{
+						Contention: []float64{0, 2, 8},
+						Cost:       []float64{5e-3 + xfer, 4.6e-3 + xfer, 4.2e-3 + xfer},
+					}
+				} else { // sequential: cheap, collapses by chi ~ 2
+					c = costmodel.Curve{
+						Contention: []float64{0, 1, 2, 8},
+						Cost:       []float64{0.2e-3 + xfer, 1.5e-3 + xfer, 4.5e-3 + xfer, 4.8e-3 + xfer},
+					}
+				}
+				t.Curves[si][ri] = c
+			}
+		}
+		return t
+	}
+	return &costmodel.Model{Target: "testdisk", Read: mk(1e-3), Write: mk(1.2e-3)}
+}
+
+// ssdTestModel builds a flat, fast model.
+func ssdTestModel() *costmodel.Model {
+	sizes := []float64{4096, 131072}
+	runs := []float64{1, 64}
+	mk := func(lat float64) costmodel.Table {
+		t := costmodel.Table{Sizes: sizes, RunCounts: runs}
+		t.Curves = make([][]costmodel.Curve, len(sizes))
+		for si := range sizes {
+			t.Curves[si] = make([]costmodel.Curve, len(runs))
+			for ri := range runs {
+				cost := lat + 0.4e-3*sizes[si]/65536
+				t.Curves[si][ri] = costmodel.Curve{Contention: []float64{0, 8}, Cost: []float64{cost, cost}}
+			}
+		}
+		return t
+	}
+	return &costmodel.Model{Target: "testssd", Read: mk(0.2e-3), Write: mk(0.4e-3)}
+}
+
+func testTargets(m int) []*Target {
+	model := testModel()
+	ts := make([]*Target, m)
+	for j := range ts {
+		ts[j] = &Target{Name: string(rune('A' + j)), Capacity: 20 << 30, Model: model}
+	}
+	return ts
+}
+
+// testInstance builds a small instance: two hot sequential tables that fully
+// overlap, one warm random index, one cold object.
+func testInstance(t *testing.T, m int) *Instance {
+	t.Helper()
+	ws := []*rome.Workload{
+		{Name: "T1", ReadSize: 131072, ReadRate: 300, RunCount: 64, Overlap: []float64{1, 0.9, 0.5, 0.1}},
+		{Name: "T2", ReadSize: 131072, ReadRate: 200, RunCount: 64, Overlap: []float64{0.9, 1, 0.5, 0.1}},
+		{Name: "IX", ReadSize: 8192, ReadRate: 120, WriteSize: 8192, WriteRate: 30, RunCount: 1, Overlap: []float64{0.5, 0.5, 1, 0.1}},
+		{Name: "COLD", ReadSize: 8192, ReadRate: 2, RunCount: 1, Overlap: []float64{0.1, 0.1, 0.1, 1}},
+	}
+	set, err := rome.NewSet(ws...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := &Instance{
+		Objects: []Object{
+			{Name: "T1", Size: 4 << 30, Kind: KindTable},
+			{Name: "T2", Size: 2 << 30, Kind: KindTable},
+			{Name: "IX", Size: 1 << 30, Kind: KindIndex},
+			{Name: "COLD", Size: 1 << 30, Kind: KindTable},
+		},
+		Targets:   testTargets(m),
+		Workloads: set,
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestLayoutBasics(t *testing.T) {
+	l := New(2, 3)
+	l.Set(0, 1, 0.5)
+	l.Set(0, 2, 0.5)
+	l.Set(1, 0, 1)
+	if err := l.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	if !l.IsRegular() {
+		t.Fatal("even split should be regular")
+	}
+	if got := l.Targets(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Targets(0) = %v", got)
+	}
+	l.Set(0, 1, 0.3)
+	l.Set(0, 2, 0.7)
+	if l.IsRegular() {
+		t.Fatal("uneven split should not be regular")
+	}
+	if err := l.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	l.Set(0, 2, 0.5)
+	if err := l.CheckIntegrity(); err == nil {
+		t.Fatal("row summing to 0.8 passed integrity")
+	}
+}
+
+func TestLayoutCapacity(t *testing.T) {
+	l := New(1, 2)
+	l.Set(0, 0, 1)
+	sizes := []int64{100}
+	if err := l.CheckCapacity(sizes, []int64{50, 500}); err == nil {
+		t.Fatal("overfull target accepted")
+	}
+	if err := l.CheckCapacity(sizes, []int64{100, 1}); err != nil {
+		t.Fatalf("exact fit rejected: %v", err)
+	}
+}
+
+func TestSEEIsValidAndRegular(t *testing.T) {
+	inst := testInstance(t, 4)
+	l := SEE(inst.N(), inst.M())
+	if err := inst.ValidateLayout(l); err != nil {
+		t.Fatal(err)
+	}
+	if !l.IsRegular() {
+		t.Fatal("SEE not regular")
+	}
+}
+
+func TestInitialLayoutProperties(t *testing.T) {
+	inst := testInstance(t, 4)
+	l, err := InitialLayout(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.ValidateLayout(l); err != nil {
+		t.Fatal(err)
+	}
+	// Every object on exactly one target.
+	for i := 0; i < l.N; i++ {
+		if ts := l.Targets(i); len(ts) != 1 {
+			t.Fatalf("object %d on %d targets", i, len(ts))
+		}
+	}
+	// The two hottest objects must land on different targets (least-loaded
+	// rule with 4 empty targets).
+	if l.Targets(0)[0] == l.Targets(1)[0] {
+		t.Fatal("two hottest objects on the same target")
+	}
+}
+
+func TestInitialLayoutRespectsCapacity(t *testing.T) {
+	inst := testInstance(t, 2)
+	// Tiny first target: the big table must avoid it.
+	inst.Targets[0].Capacity = 1 << 30
+	l, err := InitialLayout(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.ValidateLayout(l); err != nil {
+		t.Fatal(err)
+	}
+	if l.At(0, 0) != 0 {
+		t.Fatal("4 GB object placed on 1 GB target")
+	}
+}
+
+func TestInitialLayoutImpossible(t *testing.T) {
+	inst := testInstance(t, 2)
+	inst.Targets[0].Capacity = 1 << 20
+	inst.Targets[1].Capacity = 1 << 20
+	if _, err := InitialLayout(inst); err == nil {
+		t.Fatal("impossible instance produced a layout")
+	}
+}
+
+func TestByKindBaseline(t *testing.T) {
+	inst := testInstance(t, 3)
+	l, err := ByKind(inst, KindAssignment{
+		ByKind:  map[ObjectKind][]int{KindTable: {0, 1}, KindIndex: {2}},
+		Default: []int{2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.At(0, 0) != 0.5 || l.At(0, 1) != 0.5 || l.At(0, 2) != 0 {
+		t.Fatalf("table row = %v", l.Row(0))
+	}
+	if l.At(2, 2) != 1 {
+		t.Fatalf("index row = %v", l.Row(2))
+	}
+	if _, err := ByKind(inst, KindAssignment{}); err == nil {
+		t.Fatal("empty assignment accepted")
+	}
+}
+
+func TestRunCountOn(t *testing.T) {
+	inst := testInstance(t, 4)
+	ev := NewEvaluator(inst)
+	// T1: runCount 64, size 128 KB -> run of 8 MB >> 1 MB stripe.
+	// Full assignment: run stays whole.
+	if q := ev.runCountOn(0, 1.0); q != 64 {
+		t.Fatalf("Q(full) = %g, want 64", q)
+	}
+	// Quarter assignment: run spans > 4 stripes, so the target sees its
+	// proportional share.
+	if q := ev.runCountOn(0, 0.25); q != 16 {
+		t.Fatalf("Q(1/4) = %g, want 16", q)
+	}
+	// IX: runCount 1 -> always 1.
+	if q := ev.runCountOn(2, 0.25); q != 1 {
+		t.Fatalf("Q(random) = %g, want 1", q)
+	}
+}
+
+func TestRunCountOnMiddleRegime(t *testing.T) {
+	// A run of 4 x 16 KB = 64 KB with 128 KB stripes: shorter than a
+	// stripe -> stays whole regardless of the fraction.
+	ws := []*rome.Workload{{Name: "A", ReadSize: 16384, ReadRate: 10, RunCount: 4}}
+	set, _ := rome.NewSet(ws...)
+	inst := &Instance{
+		Objects:   []Object{{Name: "A", Size: 1 << 30}},
+		Targets:   testTargets(2),
+		Workloads: set,
+	}
+	ev := NewEvaluator(inst)
+	if q := ev.runCountOn(0, 0.5); q != 4 {
+		t.Fatalf("sub-stripe run Q = %g, want 4", q)
+	}
+	// A run of 32 x 16 KB = 512 KB with 128 KB stripes and fraction 0.1:
+	// longer than a stripe but shorter than StripeSize/L = 1.28 MB ->
+	// middle regime: the target sees one stripe's worth of requests.
+	ws2 := []*rome.Workload{{Name: "A", ReadSize: 16384, ReadRate: 10, RunCount: 32}}
+	set2, _ := rome.NewSet(ws2...)
+	inst2 := &Instance{
+		Objects:   []Object{{Name: "A", Size: 1 << 30}},
+		Targets:   testTargets(2),
+		Workloads: set2,
+	}
+	ev2 := NewEvaluator(inst2)
+	if q := ev2.runCountOn(0, 0.1); q != 8 {
+		t.Fatalf("middle regime Q = %g, want StripeSize/B = 8", q)
+	}
+}
+
+func TestContentionZeroWhenIsolated(t *testing.T) {
+	inst := testInstance(t, 4)
+	ev := NewEvaluator(inst)
+	l := New(4, 4)
+	for i := 0; i < 4; i++ {
+		l.Set(i, i, 1)
+	}
+	rates := make([]float64, 4)
+	for j := 0; j < 4; j++ {
+		ev.targetRates(l, j, rates)
+		if chi := ev.contention(j, rates, rates[j]); chi != 0 {
+			t.Fatalf("isolated object %d has contention %g", j, chi)
+		}
+	}
+}
+
+func TestContentionReflectsOverlapAndRates(t *testing.T) {
+	inst := testInstance(t, 2)
+	ev := NewEvaluator(inst)
+	// T1 and T2 together on target 0.
+	l := New(4, 2)
+	l.Set(0, 0, 1)
+	l.Set(1, 0, 1)
+	l.Set(2, 1, 1)
+	l.Set(3, 1, 1)
+	rates := make([]float64, 4)
+	ev.targetRates(l, 0, rates)
+	// chi for T1: rate(T2)*O(T1,T2)/rate(T1) = 200*0.9/300 = 0.6
+	if chi := ev.contention(0, rates, rates[0]); math.Abs(chi-0.6) > 1e-9 {
+		t.Fatalf("chi(T1) = %g, want 0.6", chi)
+	}
+	// chi for T2: 300*0.9/200 = 1.35
+	if chi := ev.contention(1, rates, rates[1]); math.Abs(chi-1.35) > 1e-9 {
+		t.Fatalf("chi(T2) = %g, want 1.35", chi)
+	}
+}
+
+func TestSeparatingSequentialTablesBeatsColocating(t *testing.T) {
+	inst := testInstance(t, 2)
+	ev := NewEvaluator(inst)
+
+	together := New(4, 2)
+	together.Set(0, 0, 1)
+	together.Set(1, 0, 1)
+	together.Set(2, 1, 1)
+	together.Set(3, 1, 1)
+
+	apart := New(4, 2)
+	apart.Set(0, 0, 1)
+	apart.Set(1, 1, 1)
+	apart.Set(2, 1, 1)
+	apart.Set(3, 0, 1)
+
+	if mt, ma := ev.MaxUtilization(together), ev.MaxUtilization(apart); ma >= mt {
+		t.Fatalf("separating overlapping sequential tables did not help: together %.3f, apart %.3f", mt, ma)
+	}
+}
+
+func TestUtilizationsAdditive(t *testing.T) {
+	inst := testInstance(t, 3)
+	ev := NewEvaluator(inst)
+	l := SEE(4, 3)
+	us := ev.Utilizations(l)
+	for j := range us {
+		var sum float64
+		for i := 0; i < 4; i++ {
+			sum += ev.ObjectUtilization(l, i, j)
+		}
+		if math.Abs(sum-us[j]) > 1e-12 {
+			t.Fatalf("target %d: sum of object utils %g != %g", j, sum, us[j])
+		}
+	}
+	bd := ev.BreakdownAll(l)
+	for j := range bd {
+		if math.Abs(bd[j].Utilization-us[j]) > 1e-12 {
+			t.Fatalf("breakdown mismatch on target %d", j)
+		}
+	}
+}
+
+func TestObjectLoadOrdering(t *testing.T) {
+	inst := testInstance(t, 4)
+	ev := NewEvaluator(inst)
+	l := SEE(4, 4)
+	// The hottest object should impose the largest total load; the cold
+	// object the smallest.
+	l0, l3 := ev.ObjectLoad(l, 0), ev.ObjectLoad(l, 3)
+	if l0 <= l3 {
+		t.Fatalf("hot object load %g <= cold %g", l0, l3)
+	}
+}
+
+func TestInstanceValidateErrors(t *testing.T) {
+	inst := testInstance(t, 2)
+	inst.Objects[0].Size = 0
+	if inst.Validate() == nil {
+		t.Fatal("zero-size object accepted")
+	}
+	inst = testInstance(t, 2)
+	inst.Objects[0].Name = "WRONG"
+	if inst.Validate() == nil {
+		t.Fatal("name mismatch accepted")
+	}
+	inst = testInstance(t, 2)
+	inst.Targets[0].Model = nil
+	if inst.Validate() == nil {
+		t.Fatal("missing cost model accepted")
+	}
+	inst = testInstance(t, 2)
+	inst.Targets[0].Capacity = 1
+	inst.Targets[1].Capacity = 1
+	if inst.Validate() == nil {
+		t.Fatal("insufficient total capacity accepted")
+	}
+}
+
+// Property: RegularRow always builds regular rows that pass integrity.
+func TestRegularRowProperty(t *testing.T) {
+	f := func(mRaw, pick uint8) bool {
+		m := int(mRaw%6) + 1
+		var ts []int
+		for j := 0; j < m; j++ {
+			if pick&(1<<uint(j)) != 0 {
+				ts = append(ts, j)
+			}
+		}
+		if len(ts) == 0 {
+			ts = []int{0}
+		}
+		l := New(1, m)
+		l.SetRow(0, RegularRow(m, ts))
+		return l.CheckIntegrity() == nil && l.IsRegular() && len(l.Targets(0)) == len(ts)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: contention is always non-negative and zero when overlaps are 0.
+func TestContentionNonNegativeProperty(t *testing.T) {
+	inst := testInstance(t, 4)
+	ev := NewEvaluator(inst)
+	f := func(a, b, c, d uint8) bool {
+		l := New(4, 4)
+		vals := []uint8{a, b, c, d}
+		for i := 0; i < 4; i++ {
+			j := int(vals[i]) % 4
+			l.Set(i, j, 1)
+		}
+		rates := make([]float64, 4)
+		for j := 0; j < 4; j++ {
+			ev.targetRates(l, j, rates)
+			for i := 0; i < 4; i++ {
+				if rates[i] <= 0 {
+					continue
+				}
+				if chi := ev.contention(i, rates, rates[i]); chi < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

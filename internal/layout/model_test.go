@@ -1,0 +1,128 @@
+package layout
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dblayout/internal/rome"
+)
+
+func TestAllOnOne(t *testing.T) {
+	l := AllOnOne(3, 4, 2)
+	if err := l.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if l.At(i, 2) != 1 {
+			t.Fatalf("object %d not on target 2", i)
+		}
+	}
+	if !l.IsRegular() {
+		t.Fatal("all-on-one should be regular")
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	l := New(1, 2)
+	l.SetRow(0, []float64{0.25, 0.75})
+	s := l.String()
+	if !strings.Contains(s, "25.0%") || !strings.Contains(s, "75.0%") {
+		t.Fatalf("unexpected rendering: %q", s)
+	}
+}
+
+func TestSelfInterferenceRaisesCost(t *testing.T) {
+	// Two otherwise-identical sequential workloads, one with stream
+	// concurrency 8: the concurrent one must predict higher utilization
+	// on an isolated target (its own streams interfere).
+	mk := func(conc float64) *Instance {
+		ws := []*rome.Workload{
+			{Name: "A", ReadSize: 131072, ReadRate: 100, RunCount: 64, Concurrency: conc},
+		}
+		set, err := rome.NewSet(ws...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst := &Instance{
+			Objects:   []Object{{Name: "A", Size: 1 << 30}},
+			Targets:   testTargets(1),
+			Workloads: set,
+		}
+		if err := inst.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return inst
+	}
+	solo := NewEvaluator(mk(1))
+	concurrent := NewEvaluator(mk(8))
+	l := AllOnOne(1, 1, 0)
+	u1 := solo.MaxUtilization(l)
+	u8 := concurrent.MaxUtilization(l)
+	if u8 <= u1*1.5 {
+		t.Fatalf("self-interference not reflected: conc=1 util %.4f, conc=8 util %.4f", u1, u8)
+	}
+}
+
+func TestBreakdownNamesAndComposition(t *testing.T) {
+	inst := testInstance(t, 2)
+	ev := NewEvaluator(inst)
+	l := SEE(4, 2)
+	bd := ev.BreakdownAll(l)
+	if len(bd) != 2 {
+		t.Fatalf("breakdown for %d targets", len(bd))
+	}
+	for j, b := range bd {
+		if b.Target != inst.Targets[j].Name {
+			t.Errorf("breakdown target %q, want %q", b.Target, inst.Targets[j].Name)
+		}
+		var sum float64
+		for _, v := range b.PerObject {
+			sum += v
+		}
+		if math.Abs(sum-b.Utilization) > 1e-12 {
+			t.Errorf("per-object composition %.6f != total %.6f", sum, b.Utilization)
+		}
+	}
+}
+
+func TestEvaluatorIdleObjectContributesNothing(t *testing.T) {
+	ws := []*rome.Workload{
+		{Name: "HOT", ReadSize: 8192, ReadRate: 100, RunCount: 1},
+		{Name: "IDLE"},
+	}
+	set, err := rome.NewSet(ws...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := &Instance{
+		Objects:   []Object{{Name: "HOT", Size: 1 << 30}, {Name: "IDLE", Size: 1 << 30}},
+		Targets:   testTargets(2),
+		Workloads: set,
+	}
+	ev := NewEvaluator(inst)
+	l := New(2, 2)
+	l.Set(0, 0, 1)
+	l.Set(1, 0, 1)
+	if mu := ev.ObjectUtilization(l, 1, 0); mu != 0 {
+		t.Fatalf("idle object utilization %g", mu)
+	}
+	// The idle co-located object adds no contention either.
+	solo := New(2, 2)
+	solo.Set(0, 0, 1)
+	solo.Set(1, 1, 1)
+	if a, b := ev.TargetUtilization(l, 0), ev.TargetUtilization(solo, 0); math.Abs(a-b) > 1e-12 {
+		t.Fatalf("idle object changed contention: %g vs %g", a, b)
+	}
+}
+
+func TestInstanceStripeSizeOverride(t *testing.T) {
+	inst := testInstance(t, 2)
+	inst.StripeSize = 1 << 20
+	ev := NewEvaluator(inst)
+	// T1: runCount 64 x 128 KB = 8 MB run >> 1 MB stripe; quarter
+	// assignment divides the run proportionally.
+	if q := ev.runCountOn(0, 0.25); q != 16 {
+		t.Fatalf("custom stripe Q = %g, want 16", q)
+	}
+}

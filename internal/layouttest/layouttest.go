@@ -1,0 +1,134 @@
+// Package layouttest provides hand-authored cost models and layout problem
+// instances shared by the tests of the solver and advisor packages. The
+// models are analytic stand-ins with the same qualitative shape as
+// calibrated ones (cheap sequential access collapsing under contention,
+// expensive flat random access), which keeps solver tests fast and their
+// expected outcomes easy to reason about.
+package layouttest
+
+import (
+	"fmt"
+
+	"dblayout/internal/costmodel"
+	"dblayout/internal/layout"
+	"dblayout/internal/rome"
+)
+
+// DiskModel returns a disk-like cost model: random requests cost ~5 ms,
+// sequential ~0.3 ms with the advantage collapsing around contention 2.
+func DiskModel() *costmodel.Model {
+	sizes := []float64{4096, 131072}
+	runs := []float64{1, 64}
+	mk := func(scale float64) costmodel.Table {
+		t := costmodel.Table{Sizes: sizes, RunCounts: runs}
+		t.Curves = make([][]costmodel.Curve, len(sizes))
+		for si := range sizes {
+			t.Curves[si] = make([]costmodel.Curve, len(runs))
+			xfer := scale * sizes[si] / 65536
+			for ri := range runs {
+				if ri == 0 {
+					t.Curves[si][ri] = costmodel.Curve{
+						Contention: []float64{0, 2, 8},
+						Cost:       []float64{5e-3 + xfer, 4.6e-3 + xfer, 4.2e-3 + xfer},
+					}
+				} else {
+					t.Curves[si][ri] = costmodel.Curve{
+						Contention: []float64{0, 1, 2, 8},
+						Cost:       []float64{0.3e-3 + xfer, 1.5e-3 + xfer, 4.5e-3 + xfer, 4.8e-3 + xfer},
+					}
+				}
+			}
+		}
+		return t
+	}
+	return &costmodel.Model{Target: "test-disk", Read: mk(0.9e-3), Write: mk(1.1e-3)}
+}
+
+// SSDModel returns a flat fast model (no positioning cost, no interference
+// sensitivity).
+func SSDModel() *costmodel.Model {
+	sizes := []float64{4096, 131072}
+	runs := []float64{1, 64}
+	mk := func(lat float64) costmodel.Table {
+		t := costmodel.Table{Sizes: sizes, RunCounts: runs}
+		t.Curves = make([][]costmodel.Curve, len(sizes))
+		for si := range sizes {
+			t.Curves[si] = make([]costmodel.Curve, len(runs))
+			cost := lat + 0.4e-3*sizes[si]/65536
+			for ri := range runs {
+				t.Curves[si][ri] = costmodel.Curve{
+					Contention: []float64{0, 8},
+					Cost:       []float64{cost, cost},
+				}
+			}
+		}
+		return t
+	}
+	return &costmodel.Model{Target: "test-ssd", Read: mk(0.2e-3), Write: mk(0.4e-3)}
+}
+
+// Targets builds m identical disk targets with the given capacity.
+func Targets(m int, capacity int64) []*layout.Target {
+	model := DiskModel()
+	ts := make([]*layout.Target, m)
+	for j := range ts {
+		ts[j] = &layout.Target{Name: fmt.Sprintf("disk%d", j), Capacity: capacity, Model: model}
+	}
+	return ts
+}
+
+// Instance builds the standard small test problem: two hot, heavily
+// overlapping sequential tables, a warm random index, and a cold object, on
+// m identical 20 GB disk targets.
+func Instance(m int) *layout.Instance {
+	ws := []*rome.Workload{
+		{Name: "T1", ReadSize: 131072, ReadRate: 300, RunCount: 64, Overlap: []float64{1, 0.9, 0.5, 0.1}},
+		{Name: "T2", ReadSize: 131072, ReadRate: 200, RunCount: 64, Overlap: []float64{0.9, 1, 0.5, 0.1}},
+		{Name: "IX", ReadSize: 8192, ReadRate: 120, WriteSize: 8192, WriteRate: 30, RunCount: 1, Overlap: []float64{0.5, 0.5, 1, 0.1}},
+		{Name: "COLD", ReadSize: 8192, ReadRate: 2, RunCount: 1, Overlap: []float64{0.1, 0.1, 0.1, 1}},
+	}
+	set, err := rome.NewSet(ws...)
+	if err != nil {
+		panic(err)
+	}
+	inst := &layout.Instance{
+		Objects: []layout.Object{
+			{Name: "T1", Size: 4 << 30, Kind: layout.KindTable},
+			{Name: "T2", Size: 2 << 30, Kind: layout.KindTable},
+			{Name: "IX", Size: 1 << 30, Kind: layout.KindIndex},
+			{Name: "COLD", Size: 1 << 30, Kind: layout.KindTable},
+		},
+		Targets:   Targets(m, 20<<30),
+		Workloads: set,
+	}
+	if err := inst.Validate(); err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// Replicated builds a larger instance by replicating the standard problem's
+// workloads r times across m targets, for solver scaling tests.
+func Replicated(r, m int) *layout.Instance {
+	base := Instance(4)
+	set := base.Workloads.Replicate(r)
+	objs := make([]layout.Object, 0, len(base.Objects)*r)
+	for rep := 0; rep < r; rep++ {
+		for _, o := range base.Objects {
+			c := o
+			if rep > 0 {
+				c.Name = fmt.Sprintf("%s#%d", o.Name, rep+1)
+			}
+			objs = append(objs, c)
+		}
+	}
+	inst := &layout.Instance{
+		Objects:   objs,
+		Targets:   Targets(m, 1<<40),
+		Workloads: set,
+	}
+	if err := inst.Validate(); err != nil {
+		panic(err)
+	}
+	return inst
+}

@@ -1,0 +1,102 @@
+package nlp
+
+import (
+	"math"
+	"math/rand"
+
+	"dblayout/internal/layout"
+)
+
+// AnnealOptions extends Options with the annealing schedule.
+type AnnealOptions struct {
+	Options
+	// StartTemp is the initial temperature as a fraction of the initial
+	// objective (default 0.10).
+	StartTemp float64
+	// Cooling is the geometric cooling factor per iteration (default
+	// 0.999).
+	Cooling float64
+}
+
+func (o AnnealOptions) withDefaults() AnnealOptions {
+	o.Options = o.Options.withDefaults()
+	if o.StartTemp <= 0 {
+		o.StartTemp = 0.10
+	}
+	if o.Cooling <= 0 || o.Cooling >= 1 {
+		o.Cooling = 0.999
+	}
+	return o
+}
+
+// Anneal runs simulated annealing over random transfer moves. It explores
+// more aggressively than TransferSearch at the cost of more evaluations, and
+// exists mainly for the ablation study comparing solver strategies (the
+// related-work Rubio et al. system used simulated annealing for a similar
+// placement problem).
+func Anneal(ev Evaluator, inst *layout.Instance, init *layout.Layout, opt AnnealOptions) Result {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed + 2))
+
+	s := newTransferState(ev, inst, init.Clone())
+	res := Result{}
+	cur := s.objective()
+	best := s.l.Clone()
+	bestObj := cur
+	temp := opt.StartTemp * cur
+
+	movable := opt.movableSet(s.l.N)
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		m, ok := s.randomMove(rng, movable)
+		if !ok {
+			continue
+		}
+		obj, _ := s.tryMove(m)
+		res.Iters++
+		delta := obj - cur
+		if delta <= 0 || (temp > 0 && rng.Float64() < math.Exp(-delta/temp)) {
+			s.apply(m)
+			cur = obj
+			if cur < bestObj {
+				bestObj = cur
+				best = s.l.Clone()
+			}
+		}
+		temp *= opt.Cooling
+	}
+
+	res.Layout = best
+	res.Objective = bestObj
+	res.Evals = s.evals
+	return res
+}
+
+// randomMove proposes a feasible random transfer of part of a random
+// object's assignment between two targets.
+func (s *transferState) randomMove(rng *rand.Rand, movable func(int) bool) (move, bool) {
+	for attempt := 0; attempt < 16; attempt++ {
+		i := rng.Intn(s.l.N)
+		if !movable(i) {
+			continue
+		}
+		ts := s.l.Targets(i)
+		if len(ts) == 0 {
+			continue
+		}
+		from := ts[rng.Intn(len(ts))]
+		to := rng.Intn(s.l.M)
+		if to == from {
+			continue
+		}
+		frac := []float64{1, 0.5, 0.25}[rng.Intn(3)]
+		delta := s.l.At(i, from) * frac
+		if s.l.At(i, from)-delta < 1e-3 {
+			delta = s.l.At(i, from)
+		}
+		if delta <= layout.Epsilon || !s.fits(i, to, delta) {
+			continue
+		}
+		return move{obj: i, from: from, to: to, delta: delta}, true
+	}
+	return move{}, false
+}

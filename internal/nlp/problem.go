@@ -1,0 +1,105 @@
+// Package nlp provides continuous optimizers for the database object layout
+// problem (paper Definition 1): minimize the maximum predicted storage
+// target utilization over the polytope of valid layouts.
+//
+// The paper formulates the problem in AMPL and solves it with the MINOS
+// non-linear programming solver. MINOS is a *local* solver — the paper notes
+// it is not guaranteed to find a global optimum and is sensitive to the
+// initial layout. This package fills the same contract with two from-scratch
+// solvers:
+//
+//   - TransferSearch: a mass-transfer local search that repeatedly shifts
+//     fractions of objects off the most utilized target. It scales to the
+//     paper's largest problems (N=160 objects, M=40 targets) because a move
+//     only requires re-evaluating the two affected targets.
+//   - ProjectedGradient: finite-difference projected gradient descent on a
+//     softmax-smoothed objective, with per-row simplex projection. Useful as
+//     a cross-check on small problems.
+//
+// Both honour the integrity constraint exactly (rows always sum to 1) and
+// the capacity constraint by construction (moves that would overfill a
+// target are rejected; the gradient path repairs violations after each
+// projection step).
+package nlp
+
+import "dblayout/internal/layout"
+
+// Evaluator supplies per-target utilization predictions for candidate
+// layouts. *layout.Evaluator implements it.
+type Evaluator interface {
+	// TargetUtilization returns mu_j under layout l.
+	TargetUtilization(l *layout.Layout, j int) float64
+	// Utilizations returns all mu_j under layout l.
+	Utilizations(l *layout.Layout) []float64
+}
+
+// Options controls the solvers. The zero value selects sensible defaults.
+type Options struct {
+	// MaxIters bounds improvement iterations (default 2000).
+	MaxIters int
+	// Tolerance is the minimum relative objective improvement that keeps
+	// the search going (default 1e-4).
+	Tolerance float64
+	// Restarts is the number of random perturbation rounds after the
+	// first descent converges; the best layout found is kept (default 3).
+	Restarts int
+	// Seed feeds the perturbation randomness.
+	Seed int64
+	// StepFractions are the fractions of an object's current assignment
+	// that a single transfer move may shift (default 1, 1/2, 1/4, 1/8).
+	StepFractions []float64
+	// MovableObjects, when non-nil, restricts the search to moving only
+	// the listed objects; all other rows are frozen. Used for
+	// incremental placement (e.g. FlexVol-style growth), where existing
+	// data must stay put.
+	MovableObjects []int
+}
+
+// movableSet converts MovableObjects into a membership predicate.
+func (o Options) movableSet(n int) func(int) bool {
+	if o.MovableObjects == nil {
+		return func(int) bool { return true }
+	}
+	set := make(map[int]bool, len(o.MovableObjects))
+	for _, i := range o.MovableObjects {
+		set[i] = true
+	}
+	return func(i int) bool { return set[i] }
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 2000
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-4
+	}
+	if o.Restarts < 0 {
+		o.Restarts = 0
+	} else if o.Restarts == 0 {
+		o.Restarts = 3
+	}
+	if len(o.StepFractions) == 0 {
+		o.StepFractions = []float64{1, 0.5, 0.25, 0.125}
+	}
+	return o
+}
+
+// Result reports a solver outcome.
+type Result struct {
+	Layout    *layout.Layout
+	Objective float64 // max target utilization of Layout
+	Iters     int     // improvement iterations performed
+	Evals     int     // target utilization evaluations performed
+}
+
+// maxOf returns the maximum value and its index.
+func maxOf(vals []float64) (int, float64) {
+	bi, bv := 0, vals[0]
+	for i, v := range vals[1:] {
+		if v > bv {
+			bi, bv = i+1, v
+		}
+	}
+	return bi, bv
+}

@@ -1,0 +1,153 @@
+package nlp
+
+import (
+	"math"
+
+	"dblayout/internal/layout"
+)
+
+// ProjectedGradient minimizes the maximum target utilization by
+// finite-difference gradient descent on a softmax-smoothed objective, with
+// Euclidean projection of every row onto the probability simplex after each
+// step and a capacity-repair pass. It evaluates O(N*M) target utilizations
+// per gradient, so it is intended for small and mid-size instances and as a
+// cross-check on TransferSearch.
+func ProjectedGradient(ev Evaluator, inst *layout.Instance, init *layout.Layout, opt Options) Result {
+	opt = opt.withDefaults()
+	l := init.Clone()
+	res := Result{}
+
+	sizes := inst.Sizes()
+	caps := inst.Capacities()
+	utils := ev.Utilizations(l)
+	res.Evals += l.M
+	_, cur := maxOf(utils)
+	step := 0.25
+	const h = 1e-4
+
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		// Softmax weights sharpen around the most utilized targets.
+		beta := 25.0
+		if cur > 0 {
+			beta /= cur
+		}
+		var wsum float64
+		w := make([]float64, l.M)
+		_, umax := maxOf(utils)
+		for j, u := range utils {
+			w[j] = math.Exp(beta * (u - umax))
+			wsum += w[j]
+		}
+		for j := range w {
+			w[j] /= wsum
+		}
+
+		// Finite-difference gradient: bumping L[i][j] changes only
+		// target j's utilization.
+		grad := make([]float64, l.N*l.M)
+		for j := 0; j < l.M; j++ {
+			if w[j] < 1e-6 {
+				continue // negligible contribution to the softmax
+			}
+			for i := 0; i < l.N; i++ {
+				old := l.At(i, j)
+				l.Set(i, j, old+h)
+				up := ev.TargetUtilization(l, j)
+				res.Evals++
+				l.Set(i, j, old)
+				grad[i*l.M+j] = w[j] * (up - utils[j]) / h
+			}
+		}
+
+		improved := false
+		for try := 0; try < 8; try++ {
+			cand := l.Clone()
+			for i := 0; i < cand.N; i++ {
+				row := cand.Row(i)
+				for j := 0; j < cand.M; j++ {
+					row[j] -= step * grad[i*cand.M+j]
+				}
+				ProjectSimplex(row)
+				cand.SetRow(i, row)
+			}
+			if !repairCapacity(cand, sizes, caps) {
+				step /= 2
+				continue
+			}
+			cu := ev.Utilizations(cand)
+			res.Evals += cand.M
+			if _, cv := maxOf(cu); cv < cur-1e-12 {
+				l = cand
+				utils = cu
+				if cur-cv < opt.Tolerance*cur {
+					cur = cv
+					iter = opt.MaxIters // converged
+				} else {
+					cur = cv
+				}
+				improved = true
+				step *= 1.2
+				break
+			}
+			step /= 2
+		}
+		res.Iters++
+		if !improved || step < 1e-6 {
+			break
+		}
+	}
+
+	res.Layout = l
+	res.Objective = cur
+	return res
+}
+
+// repairCapacity rescales assignments so no target is over capacity,
+// redistributing the displaced fractions to targets with free space. It
+// returns false if no feasible redistribution was found.
+func repairCapacity(l *layout.Layout, sizes, caps []int64) bool {
+	for pass := 0; pass < 2*l.M; pass++ {
+		worst, worstRatio := -1, 1.0
+		bytes := make([]float64, l.M)
+		for j := 0; j < l.M; j++ {
+			bytes[j] = l.TargetBytes(j, sizes)
+			if r := bytes[j] / float64(caps[j]); r > worstRatio*(1+1e-12) {
+				worst, worstRatio = j, r
+			}
+		}
+		if worst < 0 {
+			return true
+		}
+		scale := 1 / worstRatio
+		for i := 0; i < l.N; i++ {
+			v := l.At(i, worst)
+			if v <= layout.Epsilon {
+				continue
+			}
+			removed := v * (1 - scale)
+			l.Set(i, worst, v*scale)
+			// Redistribute to the target with the most free bytes.
+			best, bestFree := -1, 0.0
+			for j := 0; j < l.M; j++ {
+				if j == worst {
+					continue
+				}
+				free := float64(caps[j]) - l.TargetBytes(j, sizes)
+				if free > bestFree {
+					best, bestFree = j, free
+				}
+			}
+			if best < 0 || bestFree < removed*float64(sizes[i]) {
+				return false
+			}
+			l.Set(i, best, l.At(i, best)+removed)
+		}
+	}
+	// Verify.
+	for j := 0; j < l.M; j++ {
+		if l.TargetBytes(j, sizes) > float64(caps[j])*(1+1e-9) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,45 @@
+package nlp
+
+import "sort"
+
+// ProjectSimplex projects v in place onto the probability simplex
+// { x : x_i >= 0, sum x_i = 1 } in Euclidean distance, using the O(n log n)
+// sort-based algorithm of Held/Wolfe/Crowder (popularized by Duchi et al.).
+// Rows of a layout matrix projected this way satisfy the integrity
+// constraint exactly.
+func ProjectSimplex(v []float64) {
+	n := len(v)
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		v[0] = 1
+		return
+	}
+	u := append([]float64(nil), v...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(u)))
+
+	var cum, theta float64
+	rho := -1
+	for i := 0; i < n; i++ {
+		cum += u[i]
+		t := (cum - 1) / float64(i+1)
+		if u[i]-t > 0 {
+			rho = i
+			theta = t
+		}
+	}
+	if rho < 0 {
+		// All mass would be clipped; fall back to uniform.
+		for i := range v {
+			v[i] = 1 / float64(n)
+		}
+		return
+	}
+	for i := range v {
+		v[i] -= theta
+		if v[i] < 0 {
+			v[i] = 0
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package nlp
+
+import (
+	"math/rand"
+
+	"dblayout/internal/layout"
+)
+
+// TransferSearch minimizes the maximum target utilization by hill descent on
+// mass-transfer moves: shift a fraction of one object's assignment from the
+// most utilized target to another target. A move changes only two columns of
+// the layout, so only two target utilizations are re-evaluated; all others
+// are cached. After the descent converges, the search restarts from randomly
+// perturbed layouts (Options.Restarts times) and keeps the best result —
+// mirroring the multi-start iteration of the paper's Fig. 4.
+//
+// The initial layout must be valid; the returned layout always is.
+func TransferSearch(ev Evaluator, inst *layout.Instance, init *layout.Layout, opt Options) Result {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+
+	s := newTransferState(ev, inst, init.Clone())
+	res := Result{}
+	s.descend(&res, opt)
+
+	best := s.l.Clone()
+	_, bestObj := maxOf(s.utils)
+
+	for r := 0; r < opt.Restarts; r++ {
+		s.perturb(rng, opt)
+		s.descend(&res, opt)
+		if _, obj := maxOf(s.utils); obj < bestObj {
+			bestObj = obj
+			best = s.l.Clone()
+		} else {
+			// Resume from the best-so-far for the next perturbation.
+			s.reset(best.Clone())
+		}
+	}
+
+	res.Layout = best
+	res.Objective = bestObj
+	return res
+}
+
+// transferState caches per-target utilizations and assigned bytes for the
+// current layout so that a candidate move costs two target evaluations.
+type transferState struct {
+	ev    Evaluator
+	inst  *layout.Instance
+	l     *layout.Layout
+	utils []float64
+	bytes []float64
+	sizes []int64
+	caps  []int64
+	evals int
+}
+
+func newTransferState(ev Evaluator, inst *layout.Instance, l *layout.Layout) *transferState {
+	s := &transferState{
+		ev:    ev,
+		inst:  inst,
+		sizes: inst.Sizes(),
+		caps:  inst.Capacities(),
+	}
+	s.reset(l)
+	return s
+}
+
+func (s *transferState) reset(l *layout.Layout) {
+	s.l = l
+	s.utils = s.ev.Utilizations(l)
+	s.evals += l.M
+	s.bytes = make([]float64, l.M)
+	for j := 0; j < l.M; j++ {
+		s.bytes[j] = l.TargetBytes(j, s.sizes)
+	}
+}
+
+// objective returns the current max utilization.
+func (s *transferState) objective() float64 {
+	_, v := maxOf(s.utils)
+	return v
+}
+
+// objectivePair returns (max, sum) of the cached utilizations. The sum is a
+// lexicographic tie-breaker: symmetric layouts such as SEE are plateaus of
+// the pure max objective (any single move leaves another equally-loaded
+// target on top), and draining total load toward cheaper targets is what
+// lets the search descend off them. MINOS-style continuous solvers do not
+// need this because their interior steps move all coordinates at once.
+func (s *transferState) objectivePair() (float64, float64) {
+	var sum float64
+	for _, u := range s.utils {
+		sum += u
+	}
+	_, v := maxOf(s.utils)
+	return v, sum
+}
+
+// move describes a candidate transfer.
+type move struct {
+	obj      int
+	from, to int
+	delta    float64 // fraction of the object to shift
+}
+
+// apply performs the move and refreshes the two affected columns.
+func (s *transferState) apply(m move) {
+	s.l.Set(m.obj, m.from, s.l.At(m.obj, m.from)-m.delta)
+	if s.l.At(m.obj, m.from) < layout.Epsilon {
+		s.l.Set(m.obj, m.from, 0)
+	}
+	s.l.Set(m.obj, m.to, s.l.At(m.obj, m.to)+m.delta)
+	s.bytes[m.from] -= m.delta * float64(s.sizes[m.obj])
+	s.bytes[m.to] += m.delta * float64(s.sizes[m.obj])
+	s.utils[m.from] = s.ev.TargetUtilization(s.l, m.from)
+	s.utils[m.to] = s.ev.TargetUtilization(s.l, m.to)
+	s.evals += 2
+}
+
+// tryMove evaluates the (max, sum) objective after m without keeping it: it
+// applies the move, reads the two new utilizations, and reverts.
+func (s *transferState) tryMove(m move) (float64, float64) {
+	fromOld, toOld := s.l.At(m.obj, m.from), s.l.At(m.obj, m.to)
+
+	s.l.Set(m.obj, m.from, fromOld-m.delta)
+	if s.l.At(m.obj, m.from) < layout.Epsilon {
+		s.l.Set(m.obj, m.from, 0)
+	}
+	s.l.Set(m.obj, m.to, toOld+m.delta)
+	nf := s.ev.TargetUtilization(s.l, m.from)
+	nt := s.ev.TargetUtilization(s.l, m.to)
+	s.evals += 2
+
+	s.l.Set(m.obj, m.from, fromOld)
+	s.l.Set(m.obj, m.to, toOld)
+
+	obj, sum := 0.0, 0.0
+	for j, u := range s.utils {
+		switch j {
+		case m.from:
+			u = nf
+		case m.to:
+			u = nt
+		}
+		sum += u
+		if u > obj {
+			obj = u
+		}
+	}
+	return obj, sum
+}
+
+// fits reports whether moving delta of object obj onto target to respects
+// the capacity constraint and any administrative constraints.
+func (s *transferState) fits(obj, to int, delta float64) bool {
+	if s.bytes[to]+delta*float64(s.sizes[obj]) > float64(s.caps[to])*(1+1e-12) {
+		return false
+	}
+	c := s.inst.Constraints
+	if !c.Permits(obj, to) {
+		return false
+	}
+	for _, k := range c.SeparatedFrom(obj) {
+		if s.l.At(k, to) > layout.Epsilon {
+			return false
+		}
+	}
+	return true
+}
+
+// descend performs greedy improvement until convergence or the iteration
+// budget is exhausted.
+func (s *transferState) descend(res *Result, opt Options) {
+	stall := 0
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		curMax, curSum := s.objectivePair()
+		best, ok := s.bestMove(curMax, curSum, opt)
+		if !ok {
+			break
+		}
+		s.apply(best)
+		res.Iters++
+		// Tie-breaker (sum-only) improvements are allowed to run for a
+		// while to escape plateaus, but must eventually pay off on the
+		// primary objective.
+		if newMax, _ := s.objectivePair(); curMax-newMax < opt.Tolerance*curMax {
+			stall++
+			if stall > 4*s.l.M {
+				break
+			}
+		} else {
+			stall = 0
+		}
+	}
+	res.Evals = s.evals
+}
+
+// bestMove scans candidate transfers off the most utilized target and
+// returns the one with the lexicographically lowest resulting (max, sum)
+// objective, if it improves on the current one.
+func (s *transferState) bestMove(curMax, curSum float64, opt Options) (move, bool) {
+	src, _ := maxOf(s.utils)
+	bestMax, bestSum := curMax, curSum
+	var best move
+	found := false
+
+	consider := func(m move) {
+		if m.delta <= layout.Epsilon || !s.fits(m.obj, m.to, m.delta) {
+			return
+		}
+		max, sum := s.tryMove(m)
+		if max < bestMax-1e-15 || (max < bestMax+1e-12 && sum < bestSum-1e-12) {
+			bestMax, bestSum = max, sum
+			best = m
+			found = true
+		}
+	}
+
+	movable := opt.movableSet(s.l.N)
+	for i := 0; i < s.l.N; i++ {
+		have := s.l.At(i, src)
+		if have <= layout.Epsilon || !movable(i) {
+			continue
+		}
+		for to := 0; to < s.l.M; to++ {
+			if to == src {
+				continue
+			}
+			fullTried := false
+			for _, f := range opt.StepFractions {
+				delta := have * f
+				if have-delta < 1e-3 {
+					delta = have // avoid leaving dust fractions behind
+				}
+				if delta == have {
+					if fullTried {
+						continue
+					}
+					fullTried = true
+				}
+				consider(move{obj: i, from: src, to: to, delta: delta})
+			}
+		}
+	}
+	return best, found
+}
+
+// perturb randomly reassigns a few objects' placements to escape local
+// minima between restarts. Capacity is respected; integrity is preserved
+// because whole-row fractions are moved.
+func (s *transferState) perturb(rng *rand.Rand, opt Options) {
+	n := s.l.N
+	movable := opt.movableSet(n)
+	kicks := 1 + n/8
+	for k := 0; k < kicks; k++ {
+		i := rng.Intn(n)
+		if !movable(i) {
+			continue
+		}
+		from := -1
+		for _, j := range s.l.Targets(i) {
+			if from < 0 || s.l.At(i, j) > s.l.At(i, from) {
+				from = j
+			}
+		}
+		if from < 0 {
+			continue
+		}
+		to := rng.Intn(s.l.M)
+		if to == from {
+			continue
+		}
+		delta := s.l.At(i, from)
+		if !s.fits(i, to, delta) {
+			continue
+		}
+		s.apply(move{obj: i, from: from, to: to, delta: delta})
+	}
+}

@@ -1,0 +1,48 @@
+package replay
+
+import (
+	"testing"
+
+	"dblayout/internal/benchdb"
+	"dblayout/internal/layout"
+)
+
+// TestDebugPerQueryTiming prints per-query elapsed times under SEE and the
+// isolation layout, for model debugging.
+func TestDebugPerQueryTiming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("debug diagnostics")
+	}
+	c := benchdb.TPCH()
+	sys := fourDisks(c)
+	n := len(sys.Objects)
+
+	see := layout.SEE(n, 4)
+	iso := layout.New(n, 4)
+	for i := 0; i < n; i++ {
+		switch c.Objects[i].Name {
+		case benchdb.Lineitem:
+			iso.SetRow(i, []float64{0.5, 0.5, 0, 0})
+		case benchdb.Partsupp:
+			iso.SetRow(i, []float64{1, 0, 0, 0})
+		case benchdb.TempSpace, benchdb.Part:
+			iso.SetRow(i, []float64{0, 0, 0, 1})
+		default:
+			iso.SetRow(i, []float64{0, 0, 1, 0})
+		}
+	}
+
+	for _, q := range benchdb.TPCHQueries() {
+		w := &benchdb.OLAPWorkload{Name: q.Name, Catalog: c, Queries: []benchdb.Query{q}, Concurrency: 1}
+		rs, err := RunOLAP(sys, see, w, Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ri, err := RunOLAP(sys, iso, w, Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-4s cpu %3.0fs  SEE %7.1fs  iso %7.1fs  (%.2fx)",
+			q.Name, q.CPUSeconds, rs.Elapsed, ri.Elapsed, rs.Elapsed/ri.Elapsed)
+	}
+}

@@ -1,0 +1,351 @@
+package replay
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dblayout/internal/benchdb"
+	"dblayout/internal/layout"
+	"dblayout/internal/storage"
+)
+
+// Options controls a replay run.
+type Options struct {
+	// Seed drives query permutation and random access patterns.
+	Seed int64
+	// RecordTrace captures the block I/O trace of the run (the input to
+	// workload fitting, as in the paper's methodology).
+	RecordTrace bool
+	// Tracer, when non-nil, additionally observes every request online —
+	// e.g. a rubicon.Fitter, which fits workload models without storing
+	// the trace.
+	Tracer storage.Tracer
+	// MaxSimTime aborts runaway simulations (default 2e6 seconds).
+	MaxSimTime float64
+	// PrefetchDepth is the number of outstanding requests a sequential
+	// stream keeps in flight, modelling OS read-ahead; it is what lets a
+	// striped scan draw bandwidth from several targets at once. Random
+	// streams are always synchronous. Default 1: the synchronous scan
+	// behaviour of the paper's PostgreSQL-era Linux, whose small
+	// read-ahead window never spanned multiple LVM stripes.
+	PrefetchDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSimTime <= 0 {
+		o.MaxSimTime = 2e6
+	}
+	if o.PrefetchDepth <= 0 {
+		o.PrefetchDepth = 1
+	}
+	return o
+}
+
+// OLAPResult reports an OLAP replay.
+type OLAPResult struct {
+	// Elapsed is the wall-clock completion time of the whole query
+	// sequence in simulated seconds — the paper's primary metric.
+	Elapsed float64
+	// Queries is the number of queries executed.
+	Queries int
+	// Requests is the number of block I/O requests issued.
+	Requests int64
+	// Utilizations are the measured per-target busy fractions.
+	Utilizations []float64
+	// Trace is the captured block trace (nil unless requested).
+	Trace *storage.Trace
+}
+
+// runner holds the shared machinery of a replay run.
+type runner struct {
+	sys      *System
+	eng      *storage.Engine
+	devices  []storage.Device
+	m        *mapper
+	objIdx   map[string]int
+	rng      *rand.Rand
+	streamID uint64
+	prefetch int
+}
+
+func newRunner(sys *System, l *layout.Layout, opt Options) (*runner, *storage.Trace, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, nil, err
+	}
+	eng := storage.NewEngine()
+	var tr *storage.Trace
+	var tracers []storage.Tracer
+	if opt.RecordTrace {
+		tr = &storage.Trace{}
+		tracers = append(tracers, tr)
+	}
+	if opt.Tracer != nil {
+		tracers = append(tracers, opt.Tracer)
+	}
+	eng.SetTracer(storage.MultiTracer(tracers...))
+	devices := make([]storage.Device, len(sys.Devices))
+	for j, d := range sys.Devices {
+		devices[j] = d.Build(eng)
+	}
+	m, err := newMapper(sys, l, devices)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &runner{
+		sys:      sys,
+		eng:      eng,
+		devices:  devices,
+		m:        m,
+		objIdx:   sys.objectIndex(),
+		rng:      rand.New(rand.NewSource(opt.Seed + 1)),
+		prefetch: opt.PrefetchDepth,
+	}, tr, nil
+}
+
+func (r *runner) nextStreamID() uint64 {
+	r.streamID++
+	return r.streamID
+}
+
+// resolve maps an object name to its global index.
+func (r *runner) resolve(name string) (int, error) {
+	i, ok := r.objIdx[name]
+	if !ok {
+		return 0, fmt.Errorf("replay: workload references object %q not in the system", name)
+	}
+	return i, nil
+}
+
+// stream drives one benchdb.Stream through the LVM mapper in a closed loop,
+// keeping up to depth requests in flight. Paced streams (depth > 1 with a
+// think interval, i.e. asynchronously-flushed spill writes) issue at most
+// one request per pacing tick, modelling production-rate-limited output.
+type stream struct {
+	r       *runner
+	obj     int
+	id      uint64
+	pattern *storage.RunPattern
+	think   float64
+	depth   int
+	onDone  func()
+
+	outstanding int
+	exhausted   bool
+	paced       bool
+	tokens      int
+}
+
+// startStream validates and launches a stream; onDone fires at exhaustion.
+func (r *runner) startStream(s benchdb.Stream, onDone func()) error {
+	obj, err := r.resolve(s.Object)
+	if err != nil {
+		return err
+	}
+	size := s.ReqSize
+	if size <= 0 {
+		if s.Sequential {
+			size = benchdb.ScanSize
+		} else {
+			size = benchdb.PageSize
+		}
+	}
+	if stripe := r.sys.stripeSize(); stripe%size != 0 {
+		return fmt.Errorf("replay: request size %d does not divide stripe size %d", size, stripe)
+	}
+	extent := r.sys.Objects[obj].Size / size * size
+	if extent < size {
+		extent = size
+	}
+	count := s.Bytes / size
+	if count < 1 {
+		count = 1
+	}
+	p := &storage.RunPattern{
+		Rng:    rand.New(rand.NewSource(r.rng.Int63())),
+		Base:   0,
+		Extent: extent,
+		Size:   size,
+		Count:  count,
+	}
+	if s.Sequential {
+		p.RunLen = count // one long run; wraps within the extent if needed
+	} else {
+		p.RunLen = 1
+	}
+	if s.Write {
+		p.WriteFrac = 1
+	}
+	depth := s.Depth
+	if depth <= 0 {
+		depth = 1
+		if s.Sequential && s.ThinkPerReq == 0 {
+			depth = r.prefetch
+		}
+	}
+	st := &stream{r: r, obj: obj, id: r.nextStreamID(), pattern: p,
+		think: s.ThinkPerReq, depth: depth, onDone: onDone}
+	if depth > 1 && st.think > 0 {
+		st.paced = true
+		st.produce()
+	} else {
+		st.fill()
+	}
+	return nil
+}
+
+// produce grants the paced stream one issue token per pacing interval.
+func (st *stream) produce() {
+	if st.exhausted {
+		return
+	}
+	st.tokens++
+	st.fill()
+	if !st.exhausted {
+		st.r.eng.After(st.think, st.produce)
+	}
+}
+
+// fill tops the stream's in-flight window up to its depth (and, for paced
+// streams, its token budget).
+func (st *stream) fill() {
+	for !st.exhausted && st.outstanding < st.depth {
+		if st.paced {
+			if st.tokens <= 0 {
+				break
+			}
+			st.tokens--
+		}
+		off, size, write, ok := st.pattern.Next()
+		if !ok {
+			st.exhausted = true
+			break
+		}
+		dev, phys, remain := st.r.m.locate(st.obj, off)
+		if size > remain {
+			size = remain // defensive: never cross a stripe boundary
+		}
+		st.outstanding++
+		req := &storage.Request{
+			Object: st.obj,
+			Stream: st.id,
+			Offset: phys,
+			Size:   size,
+			Write:  write,
+			Done: func(*storage.Request) {
+				st.outstanding--
+				if !st.paced && st.think > 0 {
+					st.r.eng.After(st.think, st.fill)
+				} else {
+					st.fill()
+				}
+			},
+		}
+		st.r.eng.Submit(dev, req)
+	}
+	if st.exhausted && st.outstanding == 0 && st.onDone != nil {
+		done := st.onDone
+		st.onDone = nil
+		done()
+	}
+}
+
+// runQuery executes a query's phases in order, then its CPU tail, then calls
+// done.
+func (r *runner) runQuery(q *benchdb.Query, done func()) error {
+	var runPhase func(pi int)
+	fail := func(err error) error { return err }
+	var firstErr error
+
+	runPhase = func(pi int) {
+		if pi >= len(q.Phases) {
+			if q.CPUSeconds > 0 {
+				r.eng.After(q.CPUSeconds, done)
+			} else {
+				done()
+			}
+			return
+		}
+		remaining := len(q.Phases[pi].Streams)
+		for _, s := range q.Phases[pi].Streams {
+			err := r.startStream(s, func() {
+				remaining--
+				if remaining == 0 {
+					runPhase(pi + 1)
+				}
+			})
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	runPhase(0)
+	if firstErr != nil {
+		return fail(firstErr)
+	}
+	return nil
+}
+
+// RunOLAP replays an OLAP workload: the query mix is randomly permuted
+// (Sec. 6.1) and executed by Concurrency parallel sessions, each starting
+// the next pending query as soon as its previous one finishes.
+func RunOLAP(sys *System, l *layout.Layout, w *benchdb.OLAPWorkload, opt Options) (*OLAPResult, error) {
+	opt = opt.withDefaults()
+	r, tr, err := newRunner(sys, l, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := benchdb.ValidateQueries(w.Catalog, w.Queries); err != nil {
+		return nil, err
+	}
+
+	queries := make([]*benchdb.Query, len(w.Queries))
+	for i := range w.Queries {
+		queries[i] = &w.Queries[i]
+	}
+	r.rng.Shuffle(len(queries), func(i, j int) { queries[i], queries[j] = queries[j], queries[i] })
+
+	next := 0
+	active := 0
+	var qerr error
+	var sessionLoop func()
+	sessionLoop = func() {
+		if next >= len(queries) {
+			return
+		}
+		q := queries[next]
+		next++
+		active++
+		if err := r.runQuery(q, func() {
+			active--
+			sessionLoop()
+		}); err != nil && qerr == nil {
+			qerr = err
+		}
+	}
+	conc := w.Concurrency
+	if conc < 1 {
+		conc = 1
+	}
+	for s := 0; s < conc && s < len(queries); s++ {
+		sessionLoop()
+	}
+	if qerr != nil {
+		return nil, qerr
+	}
+
+	elapsed := r.eng.Run(opt.MaxSimTime)
+	if next < len(queries) || active > 0 {
+		return nil, fmt.Errorf("replay: workload did not finish within %g simulated seconds", opt.MaxSimTime)
+	}
+
+	res := &OLAPResult{
+		Elapsed:  elapsed,
+		Queries:  len(queries),
+		Requests: r.eng.Submitted(),
+		Trace:    tr,
+	}
+	for _, d := range r.devices {
+		res.Utilizations = append(res.Utilizations, d.Stats().Utilization(elapsed))
+	}
+	return res, nil
+}

@@ -1,0 +1,290 @@
+package replay
+
+import (
+	"testing"
+
+	"dblayout/internal/benchdb"
+	"dblayout/internal/layout"
+	"dblayout/internal/storage"
+)
+
+func TestDeviceSpecValidate(t *testing.T) {
+	if err := Disk15K("d").Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (DeviceSpec{Name: "x"}).Validate(); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	disk := storage.Disk15KConfig()
+	ssd := storage.SSD32Config()
+	if err := (DeviceSpec{Name: "x", Disk: &disk, SSD: &ssd}).Validate(); err == nil {
+		t.Fatal("double spec accepted")
+	}
+	if err := (DeviceSpec{Name: "x", RAID: &RAIDSpec{Members: 0}}).Validate(); err == nil {
+		t.Fatal("zero-member RAID accepted")
+	}
+}
+
+func TestDeviceSpecCapacityAndKeys(t *testing.T) {
+	if got := RAID0Disks("g", 3).Capacity(); got != 3*storage.Disk15KConfig().CapacityBytes {
+		t.Fatalf("RAID capacity = %d", got)
+	}
+	if SSD("s", 6<<30).Capacity() != 6<<30 {
+		t.Fatal("SSD capacity override failed")
+	}
+	// Same type same key; different types different keys.
+	if Disk15K("a").ModelKey() != Disk15K("b").ModelKey() {
+		t.Fatal("identical disks have different model keys")
+	}
+	keys := map[string]bool{
+		Disk15K("a").ModelKey():       true,
+		SSD("s", 0).ModelKey():        true,
+		RAID0Disks("g", 2).ModelKey(): true,
+		RAID0Disks("h", 3).ModelKey(): true,
+	}
+	if len(keys) != 4 {
+		t.Fatalf("model keys collide: %v", keys)
+	}
+}
+
+func TestMapperRequiresRegular(t *testing.T) {
+	w := benchdb.OLAP121()
+	sys := fourDisks(w.Catalog)
+	l := layout.SEE(len(sys.Objects), 4)
+	l.SetRow(0, []float64{0.6, 0.4, 0, 0})
+	if _, err := RunOLAP(sys, l, w, Options{}); err == nil {
+		t.Fatal("non-regular layout accepted")
+	}
+}
+
+func TestMapperStripesRoundRobin(t *testing.T) {
+	sys := &System{
+		Objects: []layout.Object{{Name: "A", Size: 4 << 20}},
+		Devices: []DeviceSpec{Disk15K("d0"), Disk15K("d1")},
+	}
+	e := storage.NewEngine()
+	devs := []storage.Device{sys.Devices[0].Build(e), sys.Devices[1].Build(e)}
+	l := layout.New(1, 2)
+	l.SetRow(0, []float64{0.5, 0.5})
+	m, err := newMapper(sys, l, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripe := sys.stripeSize()
+	// Stripe 0 -> d0 at base, stripe 1 -> d1 at base, stripe 2 -> d0 at
+	// base+stripe.
+	d, off, rem := m.locate(0, 0)
+	if d != devs[0] || off != 0 || rem != stripe {
+		t.Fatalf("stripe 0: %v %d %d", d.Name(), off, rem)
+	}
+	if d, _, _ := m.locate(0, stripe); d != devs[1] {
+		t.Fatal("stripe 1 not on d1")
+	}
+	if d, off, _ := m.locate(0, 2*stripe); d != devs[0] || off != stripe {
+		t.Fatalf("stripe 2: %s %d", d.Name(), off)
+	}
+	// Mid-stripe offsets stay within the stripe.
+	if _, off, rem := m.locate(0, stripe+4096); off != 4096 || rem != stripe-4096 {
+		t.Fatalf("mid-stripe: %d %d", off, rem)
+	}
+}
+
+func TestMapperCapacityOverflow(t *testing.T) {
+	sys := &System{
+		Objects: []layout.Object{{Name: "A", Size: 40 << 30}},
+		Devices: []DeviceSpec{Disk15K("d0")},
+	}
+	e := storage.NewEngine()
+	devs := []storage.Device{sys.Devices[0].Build(e)}
+	l := layout.New(1, 1)
+	l.Set(0, 0, 1)
+	if _, err := newMapper(sys, l, devs); err == nil {
+		t.Fatal("40 GB object on an 18.4 GB disk accepted")
+	}
+}
+
+// TestIsolationBeatsSEEInReplay is the end-to-end shape check behind the
+// paper's Fig. 11: a layout that separates the hot sequential objects from
+// each other completes the OLAP workload faster than
+// stripe-everything-everywhere on identical disks.
+func TestIsolationBeatsSEEInReplay(t *testing.T) {
+	w := benchdb.OLAP163()
+	sys := fourDisks(w.Catalog)
+	n := len(sys.Objects)
+	c := w.Catalog
+
+	see := layout.SEE(n, 4)
+	seeRes, err := RunOLAP(sys, see, w, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-built isolation layout in the spirit of paper Fig. 1:
+	// LINEITEM isolated on disks 0-1 (PARTSUPP joins disk 0 — the two are
+	// never scanned in the same phase), ORDERS, CUSTOMER and the indexes
+	// on disk 2, TEMP SPACE and PART on disk 3, so that no phase's
+	// streams collide.
+	iso := layout.New(n, 4)
+	for i := 0; i < n; i++ {
+		switch c.Objects[i].Name {
+		case benchdb.Lineitem:
+			iso.SetRow(i, []float64{0.5, 0.5, 0, 0})
+		case benchdb.Partsupp:
+			iso.SetRow(i, []float64{1, 0, 0, 0})
+		case benchdb.TempSpace, benchdb.Part:
+			iso.SetRow(i, []float64{0, 0, 0, 1})
+		default: // ORDERS, CUSTOMER, indexes, small objects
+			iso.SetRow(i, []float64{0, 0, 1, 0})
+		}
+	}
+	isoRes, err := RunOLAP(sys, iso, w, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("SEE %.0f s vs isolation %.0f s (%.2fx)", seeRes.Elapsed, isoRes.Elapsed, seeRes.Elapsed/isoRes.Elapsed)
+	if isoRes.Elapsed >= seeRes.Elapsed {
+		t.Fatalf("isolation (%.0f s) did not beat SEE (%.0f s)", isoRes.Elapsed, seeRes.Elapsed)
+	}
+}
+
+func TestReplayDeterminism(t *testing.T) {
+	w := benchdb.OLAP121()
+	sys := fourDisks(w.Catalog)
+	see := layout.SEE(len(sys.Objects), 4)
+	a, err := RunOLAP(sys, see, w, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOLAP(sys, see, w, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed || a.Requests != b.Requests {
+		t.Fatalf("replay not deterministic: %g/%d vs %g/%d", a.Elapsed, a.Requests, b.Elapsed, b.Requests)
+	}
+	c, err := RunOLAP(sys, see, w, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Elapsed == a.Elapsed {
+		t.Log("warning: different seeds gave identical elapsed times")
+	}
+}
+
+func TestReplayTraceCapture(t *testing.T) {
+	w := benchdb.OLAP121()
+	w.Queries = w.Queries[:3]
+	sys := fourDisks(w.Catalog)
+	see := layout.SEE(len(sys.Objects), 4)
+	res, err := RunOLAP(sys, see, w, Options{Seed: 1, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || int64(res.Trace.Len()) != res.Requests {
+		t.Fatalf("trace missing or incomplete: %v vs %d requests", res.Trace.Len(), res.Requests)
+	}
+	for _, rec := range res.Trace.Records[:100] {
+		if rec.Object < 0 || rec.Object >= len(sys.Objects) {
+			t.Fatalf("bad object index in trace: %+v", rec)
+		}
+	}
+}
+
+func TestOLAPConcurrencySpeedsUpWallClock(t *testing.T) {
+	w1 := benchdb.OLAP163()
+	w8 := benchdb.OLAP863()
+	sys := fourDisks(w1.Catalog)
+	see := layout.SEE(len(sys.Objects), 4)
+	r1, err := RunOLAP(sys, see, w1, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := RunOLAP(sys, see, w8, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrency overlaps CPU and I/O: the paper sees 40927 -> 16201 s.
+	if r8.Elapsed >= r1.Elapsed {
+		t.Fatalf("concurrency 8 (%.0f s) not faster than serial (%.0f s)", r8.Elapsed, r1.Elapsed)
+	}
+}
+
+func TestRunOLTPAlone(t *testing.T) {
+	w := benchdb.OLTP()
+	sys := &System{
+		Objects: w.Catalog.Objects,
+		Devices: []DeviceSpec{Disk15K("d0"), Disk15K("d1"), Disk15K("d2"), Disk15K("d3")},
+	}
+	see := layout.SEE(len(sys.Objects), 4)
+	res, err := RunOLTP(sys, see, w, 600, 60, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("OLTP SEE: %.0f tpmC, completed %v", res.TpmC, res.Completed)
+	if res.TpmC <= 0 {
+		t.Fatal("no New-Order transactions completed")
+	}
+	// The mix must roughly respect the configured weights.
+	total := 0
+	for _, n := range res.Completed {
+		total += n
+	}
+	noFrac := float64(res.Completed["NewOrder"]) / float64(total)
+	if noFrac < 0.35 || noFrac > 0.55 {
+		t.Errorf("NewOrder fraction %.2f, want ~0.45", noFrac)
+	}
+}
+
+func TestRunConsolidated(t *testing.T) {
+	olap := benchdb.OLAP121()
+	olap.Queries = olap.Queries[:6] // keep the test quick
+	oltp := benchdb.OLTP()
+	objects := append(append([]layout.Object{}, olap.Catalog.Objects...), oltp.Catalog.Objects...)
+	sys := &System{
+		Objects: objects,
+		Devices: []DeviceSpec{Disk15K("d0"), Disk15K("d1"), Disk15K("d2"), Disk15K("d3")},
+	}
+	see := layout.SEE(len(objects), 4)
+	olapRes, oltpRes, err := RunConsolidated(sys, see, olap, oltp, 30, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("consolidated: OLAP %.0f s, OLTP %.0f tpmC", olapRes.Elapsed, oltpRes.TpmC)
+	if olapRes.Elapsed <= 0 || oltpRes.TpmC <= 0 {
+		t.Fatalf("degenerate consolidation result: %+v %+v", olapRes, oltpRes)
+	}
+	if oltpRes.Elapsed >= olapRes.Elapsed {
+		t.Fatal("OLTP measurement window should exclude warm-up")
+	}
+}
+
+func TestHeterogeneousRAIDSystem(t *testing.T) {
+	w := benchdb.OLAP121()
+	w.Queries = w.Queries[:5]
+	sys := &System{
+		Objects: w.Catalog.Objects,
+		Devices: []DeviceSpec{RAID0Disks("g0", 3), Disk15K("d3")},
+	}
+	see := layout.SEE(len(sys.Objects), 2)
+	res, err := RunOLAP(sys, see, w, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no progress on RAID system")
+	}
+	if len(res.Utilizations) != 2 {
+		t.Fatalf("got %d utilizations, want 2", len(res.Utilizations))
+	}
+}
+
+func TestRunOLAPUnknownObject(t *testing.T) {
+	w := benchdb.OLAP121()
+	sys := fourDisks(w.Catalog)
+	sys.Objects = sys.Objects[:5] // drop most objects
+	see := layout.SEE(5, 4)
+	if _, err := RunOLAP(sys, see, w, Options{}); err == nil {
+		t.Fatal("workload referencing missing objects accepted")
+	}
+}

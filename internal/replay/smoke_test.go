@@ -1,0 +1,32 @@
+package replay
+
+import (
+	"testing"
+
+	"dblayout/internal/benchdb"
+	"dblayout/internal/layout"
+)
+
+// fourDisks builds the paper's homogeneous 1-1-1-1 system for the TPC-H
+// catalog.
+func fourDisks(c *benchdb.Catalog) *System {
+	return &System{
+		Objects: c.Objects,
+		Devices: []DeviceSpec{Disk15K("d0"), Disk15K("d1"), Disk15K("d2"), Disk15K("d3")},
+	}
+}
+
+func TestSmokeOLAP121SEE(t *testing.T) {
+	w := benchdb.OLAP121()
+	sys := fourDisks(w.Catalog)
+	see := layout.SEE(len(sys.Objects), len(sys.Devices))
+	res, err := RunOLAP(sys, see, w, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("OLAP1-21 SEE: elapsed %.0f s, %d requests, utils %v",
+		res.Elapsed, res.Requests, res.Utilizations)
+	if res.Elapsed <= 0 || res.Queries != 21 {
+		t.Fatalf("bad result: %+v", res)
+	}
+}

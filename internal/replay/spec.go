@@ -1,0 +1,189 @@
+// Package replay executes SQL-level workloads (package benchdb) against the
+// storage simulator (package storage) under a concrete, regular layout. It
+// plays the role of the paper's physical testbed: it produces the elapsed
+// workload times and tpmC rates of the evaluation tables, and the I/O traces
+// from which workload models are fitted.
+package replay
+
+import (
+	"fmt"
+
+	"dblayout/internal/costmodel"
+	"dblayout/internal/layout"
+	"dblayout/internal/storage"
+)
+
+// RAIDSpec describes a RAID0 group target.
+type RAIDSpec struct {
+	Members int
+	Member  storage.DiskConfig
+	Unit    int64 // stripe unit; 0 selects storage.DefaultStripeUnit
+}
+
+// DeviceSpec declares one storage target of the system under test. Exactly
+// one of Disk, SSD, RAID must be set.
+type DeviceSpec struct {
+	Name string
+	Disk *storage.DiskConfig
+	SSD  *storage.SSDConfig
+	RAID *RAIDSpec
+}
+
+// Disk15K returns a single-15K-disk target spec, the paper's basic target.
+func Disk15K(name string) DeviceSpec {
+	cfg := storage.Disk15KConfig()
+	return DeviceSpec{Name: name, Disk: &cfg}
+}
+
+// SSD returns an SSD target spec with the given capacity (0 = full 32 GB).
+func SSD(name string, capacity int64) DeviceSpec {
+	cfg := storage.SSD32Config()
+	if capacity > 0 {
+		cfg.CapacityBytes = capacity
+	}
+	return DeviceSpec{Name: name, SSD: &cfg}
+}
+
+// RAID0Disks returns a RAID0 group of n 15K disks, as built by the paper's
+// PERC controller for the heterogeneous configurations.
+func RAID0Disks(name string, n int) DeviceSpec {
+	return DeviceSpec{Name: name, RAID: &RAIDSpec{Members: n, Member: storage.Disk15KConfig()}}
+}
+
+// Validate checks the spec declares exactly one device type.
+func (s DeviceSpec) Validate() error {
+	n := 0
+	if s.Disk != nil {
+		n++
+	}
+	if s.SSD != nil {
+		n++
+	}
+	if s.RAID != nil {
+		n++
+	}
+	if n != 1 {
+		return fmt.Errorf("replay: device %q declares %d device types, want 1", s.Name, n)
+	}
+	if s.RAID != nil && s.RAID.Members <= 0 {
+		return fmt.Errorf("replay: device %q: RAID with %d members", s.Name, s.RAID.Members)
+	}
+	return nil
+}
+
+// Capacity returns the target's capacity without instantiating it.
+func (s DeviceSpec) Capacity() int64 {
+	switch {
+	case s.Disk != nil:
+		return s.Disk.CapacityBytes
+	case s.SSD != nil:
+		return s.SSD.CapacityBytes
+	case s.RAID != nil:
+		return s.RAID.Member.CapacityBytes * int64(s.RAID.Members)
+	}
+	return 0
+}
+
+// ModelKey identifies the target's performance class for cost-model
+// calibration caching. Targets with the same key share a calibrated model.
+func (s DeviceSpec) ModelKey() string {
+	switch {
+	case s.Disk != nil:
+		return fmt.Sprintf("disk-rpm%.0fms-%.0fMBps", s.Disk.AvgSeek*1e3, s.Disk.TransferRate/(1<<20))
+	case s.SSD != nil:
+		return fmt.Sprintf("ssd-%.2fms-%.0fMBps", s.SSD.ReadLatency*1e3, s.SSD.ReadRate/(1<<20))
+	case s.RAID != nil:
+		return fmt.Sprintf("raid0x%d-%.0fms-%.0fMBps", s.RAID.Members,
+			s.RAID.Member.AvgSeek*1e3, s.RAID.Member.TransferRate/(1<<20))
+	}
+	return "invalid"
+}
+
+// Build instantiates the target on the engine.
+func (s DeviceSpec) Build(e *storage.Engine) storage.Device {
+	switch {
+	case s.Disk != nil:
+		return storage.NewDisk(e, s.Name, *s.Disk)
+	case s.SSD != nil:
+		return storage.NewSSD(e, s.Name, *s.SSD)
+	case s.RAID != nil:
+		unit := s.RAID.Unit
+		if unit <= 0 {
+			unit = storage.DefaultStripeUnit
+		}
+		members := make([]storage.Device, s.RAID.Members)
+		for i := range members {
+			members[i] = storage.NewDisk(e, fmt.Sprintf("%s.m%d", s.Name, i), s.RAID.Member)
+		}
+		return storage.NewRAID0(e, s.Name, unit, members...)
+	}
+	panic("replay: invalid device spec")
+}
+
+// Factory returns a costmodel.TargetFactory building fresh instances of this
+// target type for calibration.
+func (s DeviceSpec) Factory() costmodel.TargetFactory {
+	return func(e *storage.Engine) storage.Device { return s.Build(e) }
+}
+
+// System is the machine under test: the merged database object list and the
+// storage targets.
+type System struct {
+	Objects []layout.Object
+	Devices []DeviceSpec
+	// StripeSize is the LVM stripe size (default layout.DefaultStripeSize).
+	StripeSize int64
+}
+
+// Validate checks the system description.
+func (sys *System) Validate() error {
+	if len(sys.Objects) == 0 || len(sys.Devices) == 0 {
+		return fmt.Errorf("replay: system needs objects and devices")
+	}
+	seen := map[string]bool{}
+	for _, o := range sys.Objects {
+		if o.Size <= 0 {
+			return fmt.Errorf("replay: object %q has size %d", o.Name, o.Size)
+		}
+		if seen[o.Name] {
+			return fmt.Errorf("replay: duplicate object %q", o.Name)
+		}
+		seen[o.Name] = true
+	}
+	for _, d := range sys.Devices {
+		if err := d.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sys *System) stripeSize() int64 {
+	if sys.StripeSize > 0 {
+		return sys.StripeSize
+	}
+	return layout.DefaultStripeSize
+}
+
+// objectIndex builds the name -> global index map.
+func (sys *System) objectIndex() map[string]int {
+	m := make(map[string]int, len(sys.Objects))
+	for i, o := range sys.Objects {
+		m[o.Name] = i
+	}
+	return m
+}
+
+// Targets builds the layout.Target list for the advisor, attaching
+// calibrated cost models from the cache.
+func (sys *System) Targets(cache *costmodel.Cache, grid costmodel.Grid) []*layout.Target {
+	ts := make([]*layout.Target, len(sys.Devices))
+	for j, d := range sys.Devices {
+		ts[j] = &layout.Target{
+			Name:     d.Name,
+			Capacity: d.Capacity(),
+			Model:    cache.Get(d.ModelKey(), d.Factory(), grid),
+		}
+	}
+	return ts
+}

@@ -1,0 +1,77 @@
+package replay
+
+import (
+	"fmt"
+
+	"dblayout/internal/layout"
+	"dblayout/internal/storage"
+)
+
+// volume implements the logical-volume striping the paper's LVM performs:
+// each object's logical address space is divided into stripes distributed
+// round-robin over the targets holding a non-zero (and, by regularity,
+// equal) fraction of the object. Consecutive stripes landing on one target
+// are physically contiguous there, which is what lets per-target sub-streams
+// of a sequential scan remain sequential.
+type volume struct {
+	targets []int   // device indices holding the object
+	bases   []int64 // physical base on each target, parallel to targets
+	stripe  int64
+}
+
+// mapper holds the volumes of all objects plus the instantiated devices.
+type mapper struct {
+	devices []storage.Device
+	volumes []volume
+}
+
+// newMapper allocates physical extents for every object per the (regular)
+// layout. Allocation is first-fit by bump pointer per target.
+func newMapper(sys *System, l *layout.Layout, devices []storage.Device) (*mapper, error) {
+	if l.N != len(sys.Objects) || l.M != len(sys.Devices) {
+		return nil, fmt.Errorf("replay: %dx%d layout for %d objects on %d devices",
+			l.N, l.M, len(sys.Objects), len(sys.Devices))
+	}
+	if !l.IsRegular() {
+		return nil, fmt.Errorf("replay: the LVM layout mechanism requires a regular layout")
+	}
+	if err := l.CheckIntegrity(); err != nil {
+		return nil, err
+	}
+	stripe := sys.stripeSize()
+
+	m := &mapper{devices: devices, volumes: make([]volume, l.N)}
+	alloc := make([]int64, l.M)
+	for i := 0; i < l.N; i++ {
+		ts := l.Targets(i)
+		if len(ts) == 0 {
+			return nil, fmt.Errorf("replay: object %q assigned to no target", sys.Objects[i].Name)
+		}
+		share := (sys.Objects[i].Size + int64(len(ts)) - 1) / int64(len(ts))
+		// Round the share up to whole stripes so stripe arithmetic
+		// stays aligned.
+		share = (share + stripe - 1) / stripe * stripe
+		v := volume{targets: ts, bases: make([]int64, len(ts)), stripe: stripe}
+		for k, j := range ts {
+			if alloc[j]+share > devices[j].Capacity() {
+				return nil, fmt.Errorf("replay: target %q overflows allocating %q",
+					sys.Devices[j].Name, sys.Objects[i].Name)
+			}
+			v.bases[k] = alloc[j]
+			alloc[j] += share
+		}
+		m.volumes[i] = v
+	}
+	return m, nil
+}
+
+// locate maps an object-relative offset to (device, physical offset, bytes
+// remaining in this stripe).
+func (m *mapper) locate(obj int, off int64) (storage.Device, int64, int64) {
+	v := &m.volumes[obj]
+	stripeIdx := off / v.stripe
+	within := off % v.stripe
+	k := int(stripeIdx % int64(len(v.targets)))
+	phys := v.bases[k] + (stripeIdx/int64(len(v.targets)))*v.stripe + within
+	return m.devices[v.targets[k]], phys, v.stripe - within
+}

@@ -1,0 +1,240 @@
+package rome
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func validWorkload(name string) *Workload {
+	return &Workload{
+		Name:      name,
+		ReadSize:  8192,
+		WriteSize: 8192,
+		ReadRate:  100,
+		WriteRate: 25,
+		RunCount:  16,
+	}
+}
+
+func TestWorkloadDerivedQuantities(t *testing.T) {
+	w := validWorkload("A")
+	if got := w.TotalRate(); got != 125 {
+		t.Fatalf("TotalRate = %g, want 125", got)
+	}
+	if got := w.MeanSize(); got != 8192 {
+		t.Fatalf("MeanSize = %g, want 8192", got)
+	}
+	if got := w.Bandwidth(); got != 125*8192 {
+		t.Fatalf("Bandwidth = %g, want %g", got, 125.0*8192)
+	}
+	w2 := &Workload{Name: "B", ReadSize: 4096, WriteSize: 16384, ReadRate: 10, WriteRate: 30, RunCount: 1}
+	want := (10.0*4096 + 30.0*16384) / 40.0
+	if got := w2.MeanSize(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MeanSize = %g, want %g", got, want)
+	}
+}
+
+func TestWorkloadIdle(t *testing.T) {
+	w := &Workload{Name: "idle"}
+	if !w.Idle() {
+		t.Fatal("zero workload should be idle")
+	}
+	if w.MeanSize() != 0 {
+		t.Fatal("idle MeanSize should be 0")
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatalf("idle workload should validate: %v", err)
+	}
+}
+
+func TestWorkloadValidateRejects(t *testing.T) {
+	cases := []Workload{
+		{Name: "neg-size", ReadSize: -1},
+		{Name: "neg-rate", ReadRate: -5, ReadSize: 8192, RunCount: 1},
+		{Name: "rate-no-size", ReadRate: 10, RunCount: 1},
+		{Name: "bad-run", ReadRate: 10, ReadSize: 8192, RunCount: 0.5},
+		{Name: "bad-overlap", ReadRate: 10, ReadSize: 8192, RunCount: 1, Overlap: []float64{1.5}},
+		{Name: "nan", ReadRate: math.NaN(), ReadSize: 8192, RunCount: 1},
+	}
+	for _, w := range cases {
+		if err := w.Validate(); err == nil {
+			t.Errorf("workload %q should fail validation", w.Name)
+		}
+	}
+}
+
+func TestWorkloadScaleAndClone(t *testing.T) {
+	w := validWorkload("A")
+	w.Overlap = []float64{1, 0.5}
+	s := w.Scale(2)
+	if s.ReadRate != 200 || s.WriteRate != 50 {
+		t.Fatalf("scaled rates %g/%g, want 200/50", s.ReadRate, s.WriteRate)
+	}
+	if s.ReadSize != w.ReadSize || s.RunCount != w.RunCount {
+		t.Fatal("Scale must not change sizes or run count")
+	}
+	s.Overlap[1] = 0.9
+	if w.Overlap[1] != 0.5 {
+		t.Fatal("Scale must deep-copy the overlap vector")
+	}
+}
+
+func TestSetValidation(t *testing.T) {
+	a, b := validWorkload("A"), validWorkload("B")
+	if _, err := NewSet(a, b); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+	if _, err := NewSet(); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	if _, err := NewSet(a, validWorkload("A")); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+	c := validWorkload("C")
+	c.Overlap = []float64{1} // wrong length (set has 3)
+	if _, err := NewSet(a, b, c); err == nil {
+		t.Fatal("wrong overlap length accepted")
+	}
+}
+
+func TestSetOverlapDefaults(t *testing.T) {
+	a, b := validWorkload("A"), validWorkload("B")
+	a.Overlap = []float64{1, 0.7}
+	s, err := NewSet(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Overlap(0, 1); got != 0.7 {
+		t.Fatalf("Overlap(0,1) = %g, want 0.7", got)
+	}
+	if got := s.Overlap(1, 0); got != 0 {
+		t.Fatalf("Overlap(1,0) = %g, want 0 (no vector)", got)
+	}
+	if got := s.Overlap(1, 1); got != 1 {
+		t.Fatalf("self overlap = %g, want 1", got)
+	}
+}
+
+func TestSetIndexAndNames(t *testing.T) {
+	s, _ := NewSet(validWorkload("A"), validWorkload("B"))
+	if s.Index("B") != 1 || s.Index("missing") != -1 {
+		t.Fatal("Index lookup broken")
+	}
+	names := s.Names()
+	if names[0] != "A" || names[1] != "B" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestSetJSONRoundTrip(t *testing.T) {
+	a := validWorkload("A")
+	a.Overlap = []float64{1, 0.25}
+	s, _ := NewSet(a, validWorkload("B"))
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Set
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 || out.Workloads[0].Overlap[1] != 0.25 {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+	// Unmarshal validates.
+	if err := json.Unmarshal([]byte(`{"workloads":[{"name":"X","read_rate":-1}]}`), &out); err == nil {
+		t.Fatal("invalid set unmarshalled without error")
+	}
+}
+
+func TestReplicate(t *testing.T) {
+	a, b := validWorkload("A"), validWorkload("B")
+	a.Overlap = []float64{1, 0.5}
+	b.Overlap = []float64{0.5, 1}
+	s, _ := NewSet(a, b)
+	r := s.Replicate(3)
+	if r.Len() != 6 {
+		t.Fatalf("replicated len = %d, want 6", r.Len())
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("replicated set invalid: %v", err)
+	}
+	if r.Workloads[2].Name != "A#2" || r.Workloads[5].Name != "B#3" {
+		t.Fatalf("replica names wrong: %v", r.Names())
+	}
+	// Within-replica overlap preserved; cross-replica overlap zero.
+	if got := r.Overlap(2, 3); got != 0.5 {
+		t.Fatalf("within-replica overlap = %g, want 0.5", got)
+	}
+	if got := r.Overlap(0, 3); got != 0 {
+		t.Fatalf("cross-replica overlap = %g, want 0", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := validWorkload("A")
+	a.Overlap = []float64{1}
+	s1, _ := NewSet(a)
+	b, c := validWorkload("B"), validWorkload("C")
+	b.Overlap = []float64{1, 0.8}
+	c.Overlap = []float64{0.8, 1}
+	s2, _ := NewSet(b, c)
+	m := Merge(s1, s2)
+	if m.Len() != 3 {
+		t.Fatalf("merged len = %d", m.Len())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("merged set invalid: %v", err)
+	}
+	if got := m.Overlap(1, 2); got != 0.8 {
+		t.Fatalf("intra-set overlap lost: %g", got)
+	}
+	if got := m.Overlap(0, 1); got != 0 {
+		t.Fatalf("cross-set overlap = %g, want 0", got)
+	}
+}
+
+// Property: scaling by f multiplies TotalRate and Bandwidth by f and leaves
+// MeanSize unchanged.
+func TestScaleProperties(t *testing.T) {
+	f := func(rr, wr, f uint16) bool {
+		w := &Workload{Name: "P", ReadSize: 8192, WriteSize: 4096,
+			ReadRate: float64(rr), WriteRate: float64(wr), RunCount: 4}
+		fac := 1 + float64(f%100)/10
+		s := w.Scale(fac)
+		if math.Abs(s.TotalRate()-fac*w.TotalRate()) > 1e-6*(1+w.TotalRate()) {
+			return false
+		}
+		if w.TotalRate() > 0 && math.Abs(s.MeanSize()-w.MeanSize()) > 1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Replicate(n) always yields a valid set of n*len workloads whose
+// total rate is n times the original.
+func TestReplicateProperties(t *testing.T) {
+	f := func(n uint8) bool {
+		k := int(n%4) + 1
+		a, b := validWorkload("A"), validWorkload("B")
+		a.Overlap = []float64{1, 0.3}
+		s, _ := NewSet(a, b)
+		r := s.Replicate(k)
+		if r.Len() != 2*k {
+			return false
+		}
+		if r.Validate() != nil {
+			return false
+		}
+		return math.Abs(r.TotalRate()-float64(k)*s.TotalRate()) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

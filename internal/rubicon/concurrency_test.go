@@ -1,0 +1,99 @@
+package rubicon
+
+import (
+	"testing"
+
+	"dblayout/internal/storage"
+)
+
+// interleavedTrace builds a trace where `streams` sequential scans of the
+// same object interleave round-robin on one target.
+func interleavedTrace(streams int, perStream int) *storage.Trace {
+	tr := &storage.Trace{}
+	offsets := make([]int64, streams)
+	for s := range offsets {
+		offsets[s] = int64(s) << 30
+	}
+	t := 0.0
+	for k := 0; k < perStream; k++ {
+		for s := 0; s < streams; s++ {
+			tr.Record(storage.TraceRecord{
+				Time: t, Object: 0, Target: "d",
+				Offset: offsets[s], Size: 8192,
+			})
+			offsets[s] += 8192
+			t += 0.001
+		}
+	}
+	return tr
+}
+
+func TestFitConcurrencySingleStream(t *testing.T) {
+	set, err := FitSet(interleavedTrace(1, 200), []string{"A"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := set.Workloads[0]
+	if w.Concurrency > 1.2 {
+		t.Errorf("single stream fitted concurrency %.2f, want ~1", w.Concurrency)
+	}
+	if w.RunCount < 100 {
+		t.Errorf("single stream run count %.1f, want long", w.RunCount)
+	}
+}
+
+func TestFitConcurrencyInterleavedStreams(t *testing.T) {
+	set, err := FitSet(interleavedTrace(3, 200), []string{"A"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := set.Workloads[0]
+	if w.Concurrency < 2.2 {
+		t.Errorf("3 interleaved streams fitted concurrency %.2f, want ~3", w.Concurrency)
+	}
+	// Three streams still fit the open-run tracker: runs stay long.
+	if w.RunCount < 50 {
+		t.Errorf("3 tracked streams run count %.1f, want long", w.RunCount)
+	}
+}
+
+func TestFitConcurrencyBeyondTracking(t *testing.T) {
+	// Eight interleaved streams exceed the device-like tracker: the run
+	// count collapses (the paper's "LINEITEM is less sequential under
+	// OLAP8-63") and the concurrency estimate saturates near the tracker
+	// capacity.
+	set, err := FitSet(interleavedTrace(8, 100), []string{"A"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := set.Workloads[0]
+	if w.RunCount > 4 {
+		t.Errorf("8 interleaved streams run count %.1f, want collapsed", w.RunCount)
+	}
+	if w.Concurrency < 3 {
+		t.Errorf("8 interleaved streams fitted concurrency %.2f, want saturated", w.Concurrency)
+	}
+}
+
+func TestFitConcurrencyRandomWorkload(t *testing.T) {
+	// A purely random workload opens a new "run" per request; the
+	// concurrency sample should not explode beyond the tracker bound.
+	tr := &storage.Trace{}
+	for k := 0; k < 500; k++ {
+		tr.Record(storage.TraceRecord{
+			Time: float64(k) * 0.001, Object: 0, Target: "d",
+			Offset: int64((k * 7919) % 100000 * 8192), Size: 8192,
+		})
+	}
+	set, err := FitSet(tr, []string{"A"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := set.Workloads[0]
+	if w.RunCount > 1.5 {
+		t.Errorf("random workload run count %.1f", w.RunCount)
+	}
+	if w.Concurrency > maxOpenRuns+1 {
+		t.Errorf("random workload concurrency %.2f exceeds tracker bound", w.Concurrency)
+	}
+}

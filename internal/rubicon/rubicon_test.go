@@ -1,0 +1,189 @@
+package rubicon
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dblayout/internal/storage"
+)
+
+// synthTrace builds a trace by simulating known workloads so the fitter's
+// recovery can be checked against ground truth.
+func synthTrace(t *testing.T) *storage.Trace {
+	t.Helper()
+	e := storage.NewEngine()
+	tr := &storage.Trace{}
+	e.SetTracer(tr)
+	d := storage.NewDisk(e, "d0", storage.Disk15KConfig())
+
+	// Object 0: sequential scan, 8 KB requests, runs of 32.
+	s0 := &storage.ClosedSource{Engine: e, Device: d, Object: 0, Stream: 1,
+		Pattern: &storage.RunPattern{Rng: rand.New(rand.NewSource(1)), Base: 0, Extent: 1 << 30,
+			Size: 8192, RunLen: 32, Count: 640}}
+	// Object 1: random reads+writes, 4 KB.
+	s1 := &storage.ClosedSource{Engine: e, Device: d, Object: 1, Stream: 2,
+		Pattern: &storage.RunPattern{Rng: rand.New(rand.NewSource(2)), Base: 2 << 30, Extent: 1 << 30,
+			Size: 4096, RunLen: 1, Count: 500, WriteFrac: 0.4}}
+	s0.Start()
+	s1.Start()
+	e.Run(0)
+	return tr
+}
+
+func TestFitSetRecoversParameters(t *testing.T) {
+	tr := synthTrace(t)
+	set, err := FitSet(tr, []string{"SCAN", "RANDOM", "IDLE"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, random, idle := set.Workloads[0], set.Workloads[1], set.Workloads[2]
+
+	if math.Abs(scan.ReadSize-8192) > 1 {
+		t.Errorf("scan read size %g, want 8192", scan.ReadSize)
+	}
+	if scan.WriteRate != 0 {
+		t.Errorf("scan write rate %g, want 0", scan.WriteRate)
+	}
+	// Interleaving with the random stream can split some runs; the fitted
+	// run count should still be clearly sequential.
+	if scan.RunCount < 8 {
+		t.Errorf("scan run count %g, want >= 8", scan.RunCount)
+	}
+	if random.RunCount > 1.5 {
+		t.Errorf("random run count %g, want ~1", random.RunCount)
+	}
+	if math.Abs(random.ReadSize-4096) > 1 || math.Abs(random.WriteSize-4096) > 1 {
+		t.Errorf("random sizes %g/%g, want 4096", random.ReadSize, random.WriteSize)
+	}
+	wf := random.WriteRate / random.TotalRate()
+	if wf < 0.3 || wf > 0.5 {
+		t.Errorf("random write fraction %.2f, want ~0.4", wf)
+	}
+	if !idle.Idle() {
+		t.Errorf("idle object fitted non-idle: %v", idle)
+	}
+
+	// Both active objects run concurrently from t=0, so overlap is high.
+	if o := set.Overlap(0, 1); o < 0.5 {
+		t.Errorf("overlap(scan,random) = %g, want high", o)
+	}
+	if o := set.Overlap(0, 2); o != 0 {
+		t.Errorf("overlap with idle object = %g, want 0", o)
+	}
+}
+
+func TestFitSetRates(t *testing.T) {
+	tr := synthTrace(t)
+	set, err := FitSet(tr, []string{"SCAN", "RANDOM", "IDLE"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur := tr.Duration()
+	reads := 0
+	for _, r := range tr.Records {
+		if r.Object == 0 && !r.Write {
+			reads++
+		}
+	}
+	want := float64(reads) / dur
+	if got := set.Workloads[0].ReadRate; math.Abs(got-want)/want > 0.01 {
+		t.Errorf("scan read rate %g, want %g", got, want)
+	}
+}
+
+func TestFitSetDisjointInTime(t *testing.T) {
+	// Two objects active in disjoint periods must have zero overlap.
+	tr := &storage.Trace{}
+	for i := 0; i < 50; i++ {
+		tr.Record(storage.TraceRecord{Time: float64(i) * 0.1, Object: 0, Target: "d", Offset: int64(i) * 8192, Size: 8192})
+	}
+	for i := 0; i < 50; i++ {
+		tr.Record(storage.TraceRecord{Time: 100 + float64(i)*0.1, Object: 1, Target: "d", Offset: int64(i) * 8192, Size: 8192})
+	}
+	set, err := FitSet(tr, []string{"A", "B"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := set.Overlap(0, 1); o != 0 {
+		t.Errorf("disjoint workloads overlap = %g, want 0", o)
+	}
+	// Both are perfectly sequential single streams: run count should cap
+	// at the request count or the configured maximum.
+	if rc := set.Workloads[0].RunCount; rc < 49 {
+		t.Errorf("run count %g, want 50", rc)
+	}
+}
+
+func TestFitSetActiveRates(t *testing.T) {
+	// Object active for 5 s within a 100 s trace: whole-trace rate is 20x
+	// lower than active rate.
+	tr := &storage.Trace{}
+	for i := 0; i < 500; i++ {
+		tr.Record(storage.TraceRecord{Time: float64(i) * 0.01, Object: 0, Target: "d", Offset: int64(i) * 4096, Size: 4096})
+	}
+	tr.Record(storage.TraceRecord{Time: 100, Object: 1, Target: "d", Offset: 0, Size: 4096})
+
+	whole, err := FitSet(tr, []string{"A", "B"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	active, err := FitSet(tr, []string{"A", "B"}, Options{ActiveRates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr, ar := whole.Workloads[0].ReadRate, active.Workloads[0].ReadRate; ar < 10*wr {
+		t.Errorf("active rate %g not ≫ whole-trace rate %g", ar, wr)
+	}
+}
+
+func TestFitSetMaxRunCountCap(t *testing.T) {
+	tr := &storage.Trace{}
+	for i := 0; i < 5000; i++ {
+		tr.Record(storage.TraceRecord{Time: float64(i) * 0.001, Object: 0, Target: "d", Offset: int64(i) * 8192, Size: 8192})
+	}
+	set, err := FitSet(tr, []string{"A"}, Options{MaxRunCount: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc := set.Workloads[0].RunCount; rc != 64 {
+		t.Errorf("run count %g, want capped at 64", rc)
+	}
+}
+
+func TestFitSetErrors(t *testing.T) {
+	if _, err := FitSet(&storage.Trace{}, nil, Options{}); err == nil {
+		t.Error("no names accepted")
+	}
+	tr := &storage.Trace{}
+	tr.Record(storage.TraceRecord{Object: 5})
+	if _, err := FitSet(tr, []string{"A"}, Options{}); err == nil {
+		t.Error("out-of-range object index accepted")
+	}
+}
+
+func TestFitSetEmptyTrace(t *testing.T) {
+	set, err := FitSet(&storage.Trace{}, []string{"A", "B"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range set.Workloads {
+		if !w.Idle() {
+			t.Errorf("workload %s not idle on empty trace", w.Name)
+		}
+	}
+}
+
+func TestActivityOrdering(t *testing.T) {
+	tr := synthTrace(t)
+	acts := Activity(tr, []string{"SCAN", "RANDOM", "IDLE"}, 1.0)
+	if acts[0].Name != "SCAN" {
+		t.Errorf("most active object = %s, want SCAN", acts[0].Name)
+	}
+	if acts[len(acts)-1].Requests != 0 {
+		t.Errorf("idle object should sort last")
+	}
+	if acts[0].Requests != 640 {
+		t.Errorf("scan requests = %d, want 640", acts[0].Requests)
+	}
+}

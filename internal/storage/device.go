@@ -1,0 +1,89 @@
+package storage
+
+// Device is a storage target that services block I/O requests.
+//
+// Devices are attached to an Engine at construction time and schedule their
+// own completion events on it. All submissions should go through
+// Engine.Submit so they are captured by the trace recorder.
+type Device interface {
+	// Name identifies the device in traces and reports.
+	Name() string
+	// Capacity returns the device capacity in bytes.
+	Capacity() int64
+	// Submit enqueues a request for service.
+	Submit(r *Request)
+	// Stats returns a snapshot of the device's counters.
+	Stats() DeviceStats
+}
+
+// DeviceStats is a snapshot of a device's activity counters.
+type DeviceStats struct {
+	Requests   int64   // requests completed
+	Bytes      int64   // bytes transferred
+	BusyTime   float64 // seconds spent servicing requests
+	SeqHits    int64   // requests serviced via the sequential fast path
+	QueueDepth int     // requests currently waiting (excluding in service)
+}
+
+// Utilization returns the fraction of the elapsed time the device was busy.
+func (s DeviceStats) Utilization(elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return s.BusyTime / elapsed
+}
+
+// queueDevice implements the single-server queueing skeleton shared by the
+// disk and SSD models. The embedding model supplies the service-time
+// function; the skeleton handles FIFO queueing, busy bookkeeping, and
+// completion callbacks.
+type queueDevice struct {
+	engine *Engine
+	name   string
+	cap    int64
+
+	queue   []*Request
+	busy    bool
+	stats   DeviceStats
+	service func(r *Request, queueDepth int) float64
+}
+
+func (d *queueDevice) Name() string    { return d.name }
+func (d *queueDevice) Capacity() int64 { return d.cap }
+
+func (d *queueDevice) Stats() DeviceStats {
+	s := d.stats
+	s.QueueDepth = len(d.queue)
+	return s
+}
+
+func (d *queueDevice) Submit(r *Request) {
+	d.queue = append(d.queue, r)
+	if !d.busy {
+		d.dispatch()
+	}
+}
+
+// dispatch starts service on the request at the head of the queue.
+func (d *queueDevice) dispatch() {
+	r := d.queue[0]
+	d.queue = d.queue[1:]
+	d.busy = true
+	st := d.service(r, len(d.queue))
+	r.service = st
+	d.stats.BusyTime += st
+	d.engine.After(st, func() { d.finish(r) })
+}
+
+func (d *queueDevice) finish(r *Request) {
+	d.stats.Requests++
+	d.stats.Bytes += r.Size
+	r.complete = d.engine.Now()
+	d.busy = false
+	if len(d.queue) > 0 {
+		d.dispatch()
+	}
+	if r.Done != nil {
+		r.Done(r)
+	}
+}

@@ -1,0 +1,132 @@
+package storage
+
+import "testing"
+
+// seqRequest builds a contiguous request for a stream at the given offset.
+func seqRequest(stream uint64, off, size int64) *Request {
+	return &Request{Stream: stream, Offset: off, Size: size}
+}
+
+// TestDiskThreeRegimes exercises the segmented read-ahead model directly:
+// undisturbed streaming, tracked interleave (reposition once per window),
+// and eviction collapse (positioning every request).
+func TestDiskThreeRegimes(t *testing.T) {
+	e := NewEngine()
+	d := NewDisk(e, "d", Disk15KConfig())
+	cfg := d.Config()
+	transfer := 8192.0 / cfg.TransferRate
+	streaming := cfg.SeqOverhead + transfer
+
+	// Regime 1: a single stream with no interference streams after its
+	// first (positioning) request.
+	off := int64(0)
+	if st := d.serviceTime(seqRequest(1, off, 8192), 0); st < cfg.HalfRotation {
+		t.Fatalf("first request should pay positioning, got %.3gms", st*1e3)
+	}
+	for k := 0; k < 10; k++ {
+		off += 8192
+		if st := d.serviceTime(seqRequest(1, off, 8192), 0); st > streaming*1.01 {
+			t.Fatalf("undisturbed request %d cost %.3gms, want streaming %.3gms", k, st*1e3, streaming*1e3)
+		}
+	}
+
+	// Regime 2: one interleaved competitor (2 streams <= RASegments).
+	// The tracked stream pays one reposition per RAWindow, and cache
+	// hits inside the window despite the interleave.
+	var repositions, hits int
+	compOff := int64(4 << 30)
+	for k := 0; k < 64; k++ {
+		off += 8192
+		st := d.serviceTime(seqRequest(1, off, 8192), 0)
+		if st > streaming*1.01 {
+			repositions++
+		} else {
+			hits++
+		}
+		compOff += 8192
+		d.serviceTime(seqRequest(2, compOff, 8192), 0) // sequential competitor
+	}
+	if hits == 0 {
+		t.Fatal("tracked interleave produced no window hits")
+	}
+	if repositions == 0 {
+		t.Fatal("tracked interleave never repositioned")
+	}
+	// Window = 64 KiB = 8 requests of 8 KiB: about 1 reposition per 8.
+	if repositions > hits {
+		t.Fatalf("repositions %d > hits %d: window amortization broken", repositions, hits)
+	}
+
+	// Regime 3: three interleaved streams exceed the two cache segments:
+	// every request of stream 1 pays positioning.
+	evicted := 0
+	c2, c3 := int64(6<<30), int64(8<<30)
+	for k := 0; k < 16; k++ {
+		off += 8192
+		if st := d.serviceTime(seqRequest(1, off, 8192), 0); st > streaming*1.5 {
+			evicted++
+		}
+		c2 += 8192
+		d.serviceTime(seqRequest(2, c2, 8192), 0)
+		c3 += 8192
+		d.serviceTime(seqRequest(3, c3, 8192), 0)
+	}
+	if evicted < 14 {
+		t.Fatalf("only %d/16 requests collapsed with 3 interleaved streams", evicted)
+	}
+}
+
+func TestDiskWriteSettle(t *testing.T) {
+	e := NewEngine()
+	d := NewDisk(e, "d", Disk15KConfig())
+	r := d.serviceTime(&Request{Stream: 1, Offset: 1 << 30, Size: 8192}, 0)
+	w := d.serviceTime(&Request{Stream: 2, Offset: 2 << 30, Size: 8192, Write: true}, 0)
+	if w <= r {
+		t.Fatalf("random write %.3gms not slower than read %.3gms", w*1e3, r*1e3)
+	}
+}
+
+func TestDiskStreamTableEviction(t *testing.T) {
+	cfg := Disk15KConfig()
+	cfg.StreamTableSize = 4
+	e := NewEngine()
+	d := NewDisk(e, "d", cfg)
+	// Touch 8 distinct streams; the table must stay bounded.
+	for s := uint64(1); s <= 8; s++ {
+		d.serviceTime(&Request{Stream: s, Offset: int64(s) << 24, Size: 8192}, 0)
+	}
+	if len(d.streams) > 4 {
+		t.Fatalf("stream table grew to %d entries, cap 4", len(d.streams))
+	}
+	// The most recent stream is still tracked and continues sequentially
+	// (it is also still cached, as the last-touched segment).
+	st := d.serviceTime(&Request{Stream: 8, Offset: (8 << 24) + 8192, Size: 8192}, 0)
+	streaming := cfg.SeqOverhead + 8192/cfg.TransferRate
+	if st > 3*streaming {
+		t.Fatalf("recently tracked stream lost: %.3gms", st*1e3)
+	}
+}
+
+func TestDiskQueueDepthDiscountOnlyForRandom(t *testing.T) {
+	e := NewEngine()
+	d := NewDisk(e, "d", Disk15KConfig())
+	shallow := d.serviceTime(&Request{Stream: 1, Offset: 1 << 30, Size: 8192}, 0)
+	deep := d.serviceTime(&Request{Stream: 2, Offset: 2 << 30, Size: 8192}, 16)
+	if deep >= shallow {
+		t.Fatalf("no scheduling discount: %.3g vs %.3g", deep*1e3, shallow*1e3)
+	}
+	if deep < d.Config().MinSeek+d.Config().HalfRotation {
+		t.Fatalf("discount below physical floor: %.3gms", deep*1e3)
+	}
+}
+
+func TestDisk7200SlowerThan15K(t *testing.T) {
+	e := NewEngine()
+	fast := NewDisk(e, "f", Disk15KConfig())
+	slow := NewDisk(e, "s", Disk7200Config())
+	rf := fast.serviceTime(&Request{Stream: 1, Offset: 1 << 30, Size: 8192}, 0)
+	rs := slow.serviceTime(&Request{Stream: 1, Offset: 1 << 30, Size: 8192}, 0)
+	if rs <= rf {
+		t.Fatalf("7200 RPM random %.3gms not slower than 15K %.3gms", rs*1e3, rf*1e3)
+	}
+}

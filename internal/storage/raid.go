@@ -1,0 +1,133 @@
+package storage
+
+import "fmt"
+
+// RAID0 is a striped group of member devices presented as a single storage
+// target, as created by the paper's Dell PERC controller for the "3-1" and
+// "2-1-1" heterogeneous configurations.
+//
+// Logical offsets are divided into fixed-size stripe units distributed
+// round-robin over the members. A request spanning several units is split
+// into per-member child requests; the parent completes when the last child
+// does. Consecutive units on one member are laid out contiguously, so a long
+// sequential logical stream appears to each member as a sequential stream of
+// its own — the same property the paper's LVM layout model relies on.
+type RAID0 struct {
+	engine  *Engine
+	name    string
+	members []Device
+	unit    int64
+	stats   DeviceStats
+}
+
+// DefaultStripeUnit is the RAID0 stripe unit size (64 KiB, the PERC default).
+const DefaultStripeUnit = 64 << 10
+
+// NewRAID0 builds a striped group over the given members. The stripe unit
+// must be positive; members must be non-empty.
+func NewRAID0(e *Engine, name string, unit int64, members ...Device) *RAID0 {
+	if len(members) == 0 {
+		panic("storage: RAID0 with no members")
+	}
+	if unit <= 0 {
+		panic("storage: RAID0 with non-positive stripe unit")
+	}
+	g := &RAID0{engine: e, name: name, members: members, unit: unit}
+	e.register(g)
+	return g
+}
+
+// Name identifies the group.
+func (g *RAID0) Name() string { return g.name }
+
+// Members returns the member devices.
+func (g *RAID0) Members() []Device { return g.members }
+
+// Capacity is the smallest member capacity times the member count (striping
+// is limited by the smallest member).
+func (g *RAID0) Capacity() int64 {
+	min := g.members[0].Capacity()
+	for _, m := range g.members[1:] {
+		if c := m.Capacity(); c < min {
+			min = c
+		}
+	}
+	return min * int64(len(g.members))
+}
+
+// Stats aggregates member counters. BusyTime is the mean member busy time,
+// which makes Utilization comparable with single-device targets.
+func (g *RAID0) Stats() DeviceStats {
+	var s DeviceStats
+	s.Requests = g.stats.Requests
+	s.Bytes = g.stats.Bytes
+	for _, m := range g.members {
+		ms := m.Stats()
+		s.BusyTime += ms.BusyTime
+		s.SeqHits += ms.SeqHits
+		s.QueueDepth += ms.QueueDepth
+	}
+	s.BusyTime /= float64(len(g.members))
+	return s
+}
+
+// Submit splits the request across members and completes it when every
+// child request has completed.
+func (g *RAID0) Submit(r *Request) {
+	r.issued = g.engine.Now()
+	n := int64(len(g.members))
+	remaining := r.Size
+	off := r.Offset
+	if remaining <= 0 {
+		panic(fmt.Sprintf("storage: RAID0 %q: non-positive request size %d", g.name, r.Size))
+	}
+
+	// Count the children first so the join counter is exact.
+	children := 0
+	for o, left := off, remaining; left > 0; {
+		inUnit := g.unit - o%g.unit
+		if inUnit > left {
+			inUnit = left
+		}
+		o += inUnit
+		left -= inUnit
+		children++
+	}
+
+	pending := children
+	perMember := 1 / float64(n)
+	done := func(c *Request) {
+		r.service += c.service * perMember
+		pending--
+		if pending == 0 {
+			g.stats.Requests++
+			g.stats.Bytes += r.Size
+			r.complete = g.engine.Now()
+			if r.Done != nil {
+				r.Done(r)
+			}
+		}
+	}
+
+	for remaining > 0 {
+		inUnit := g.unit - off%g.unit
+		if inUnit > remaining {
+			inUnit = remaining
+		}
+		stripe := off / g.unit
+		member := g.members[stripe%n]
+		memberOff := (stripe/n)*g.unit + off%g.unit
+		child := &Request{
+			Object: r.Object,
+			Stream: r.Stream,
+			Offset: memberOff,
+			Size:   inUnit,
+			Write:  r.Write,
+			Done:   done,
+		}
+		child.issued = g.engine.Now()
+		member.Submit(child)
+		off += inUnit
+		remaining -= inUnit
+	}
+}

@@ -1,0 +1,189 @@
+package storage
+
+import "math/rand"
+
+// AccessPattern produces the successive requests of one I/O stream.
+// Implementations must be deterministic given their own RNG so that
+// simulations are reproducible.
+type AccessPattern interface {
+	// Next returns the next request's placement, or ok=false when the
+	// stream is exhausted.
+	Next() (offset, size int64, write bool, ok bool)
+}
+
+// RunPattern generates runs of sequential requests separated by random
+// jumps — the access shape the Rome run-count parameter describes. RunLen=1
+// yields a purely random pattern; a RunLen covering the whole extent yields
+// one long scan.
+type RunPattern struct {
+	Rng       *rand.Rand // randomness source (required unless fully sequential)
+	Base      int64      // first addressable byte
+	Extent    int64      // addressable bytes after Base
+	Size      int64      // request size in bytes
+	RunLen    int64      // requests per sequential run (>= 1)
+	Count     int64      // total requests to produce; < 0 means unbounded
+	WriteFrac float64    // probability a run is a run of writes
+
+	issued  int64
+	inRun   int64
+	off     int64
+	writing bool
+	started bool
+}
+
+// Next implements AccessPattern.
+func (p *RunPattern) Next() (int64, int64, bool, bool) {
+	if p.Count >= 0 && p.issued >= p.Count {
+		return 0, 0, false, false
+	}
+	if p.RunLen < 1 {
+		p.RunLen = 1
+	}
+	if !p.started || p.inRun >= p.RunLen || p.off+p.Size > p.Base+p.Extent {
+		// Start a new run at a random aligned position.
+		p.started = true
+		p.inRun = 0
+		slots := p.Extent / p.Size
+		if slots < 1 {
+			slots = 1
+		}
+		var slot int64
+		if p.Rng != nil {
+			slot = p.Rng.Int63n(slots)
+		}
+		p.off = p.Base + slot*p.Size
+		p.writing = p.WriteFrac > 0 && (p.WriteFrac >= 1 || (p.Rng != nil && p.Rng.Float64() < p.WriteFrac))
+	}
+	off := p.off
+	p.off += p.Size
+	p.inRun++
+	p.issued++
+	return off, p.Size, p.writing, true
+}
+
+// ScanPattern returns a pattern that reads (or writes) the extent
+// [base, base+extent) once, sequentially, in size-byte requests.
+func ScanPattern(base, extent, size int64, write bool) *RunPattern {
+	count := extent / size
+	if count < 1 {
+		count = 1
+	}
+	wf := 0.0
+	if write {
+		wf = 1.0
+	}
+	return &RunPattern{Base: base, Extent: extent, Size: size, RunLen: count, Count: count, WriteFrac: wf}
+}
+
+// ClosedSource drives an AccessPattern against a device in a closed loop:
+// the next request is issued Think seconds after the previous one completes.
+// This models a synchronous I/O path such as a database scan.
+type ClosedSource struct {
+	Engine  *Engine
+	Device  Device
+	Object  int
+	Stream  uint64
+	Pattern AccessPattern
+	Think   float64          // delay between completion and next issue
+	OnDone  func(at float64) // invoked when the pattern is exhausted
+	// OnComplete, when non-nil, observes every completed request (used by
+	// the cost-model calibration harness to measure service times).
+	OnComplete func(r *Request)
+
+	inflight bool
+}
+
+// Start issues the stream's first request. It is a no-op on an exhausted
+// pattern (OnDone fires immediately).
+func (s *ClosedSource) Start() { s.issueNext() }
+
+func (s *ClosedSource) issueNext() {
+	off, size, write, ok := s.Pattern.Next()
+	if !ok {
+		if s.OnDone != nil {
+			s.OnDone(s.Engine.Now())
+		}
+		return
+	}
+	s.inflight = true
+	req := &Request{
+		Object: s.Object,
+		Stream: s.Stream,
+		Offset: off,
+		Size:   size,
+		Write:  write,
+		Done: func(r *Request) {
+			s.inflight = false
+			if s.OnComplete != nil {
+				s.OnComplete(r)
+			}
+			if s.Think > 0 {
+				s.Engine.After(s.Think, s.issueNext)
+			} else {
+				s.issueNext()
+			}
+		},
+	}
+	s.Engine.Submit(s.Device, req)
+}
+
+// OpenSource drives an AccessPattern against a device in an open loop:
+// requests arrive as a Poisson process at the configured rate regardless of
+// completions. It models background load with a known request rate, as the
+// calibration harness requires.
+type OpenSource struct {
+	Engine  *Engine
+	Device  Device
+	Object  int
+	Stream  uint64
+	Pattern AccessPattern
+	Rate    float64 // arrivals per second (> 0)
+	Rng     *rand.Rand
+	OnDone  func(at float64)
+
+	outstanding int64
+	exhausted   bool
+}
+
+// Start schedules the first arrival.
+func (s *OpenSource) Start() {
+	if s.Rate <= 0 {
+		panic("storage: OpenSource with non-positive rate")
+	}
+	s.scheduleArrival()
+}
+
+func (s *OpenSource) scheduleArrival() {
+	delay := s.Rng.ExpFloat64() / s.Rate
+	s.Engine.After(delay, s.arrive)
+}
+
+func (s *OpenSource) arrive() {
+	off, size, write, ok := s.Pattern.Next()
+	if !ok {
+		s.exhausted = true
+		s.maybeDone()
+		return
+	}
+	s.outstanding++
+	req := &Request{
+		Object: s.Object,
+		Stream: s.Stream,
+		Offset: off,
+		Size:   size,
+		Write:  write,
+		Done: func(_ *Request) {
+			s.outstanding--
+			s.maybeDone()
+		},
+	}
+	s.Engine.Submit(s.Device, req)
+	s.scheduleArrival()
+}
+
+func (s *OpenSource) maybeDone() {
+	if s.exhausted && s.outstanding == 0 && s.OnDone != nil {
+		s.OnDone(s.Engine.Now())
+		s.OnDone = nil
+	}
+}

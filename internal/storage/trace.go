@@ -1,0 +1,115 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceRecord describes one block I/O request as captured at submission,
+// equivalent to the records the paper obtained from its instrumented kernel.
+type TraceRecord struct {
+	Time   float64 `json:"t"`      // submission time, simulated seconds
+	Object int     `json:"obj"`    // database object index
+	Stream uint64  `json:"stream"` // logical stream identifier
+	Target string  `json:"target"` // device name
+	Offset int64   `json:"off"`    // byte offset on the target
+	Size   int64   `json:"size"`   // bytes
+	Write  bool    `json:"w"`      // false = read
+}
+
+// Tracer receives a record for every request submitted through the engine.
+type Tracer interface {
+	Record(rec TraceRecord)
+}
+
+// Trace is an in-memory trace, in submission order.
+type Trace struct {
+	Records []TraceRecord
+}
+
+// Record appends rec to the trace. Trace implements Tracer.
+func (t *Trace) Record(rec TraceRecord) { t.Records = append(t.Records, rec) }
+
+// Len returns the number of records.
+func (t *Trace) Len() int { return len(t.Records) }
+
+// Duration returns the span from the first to the last record.
+func (t *Trace) Duration() float64 {
+	if len(t.Records) < 2 {
+		return 0
+	}
+	return t.Records[len(t.Records)-1].Time - t.Records[0].Time
+}
+
+// FilterObject returns a new trace containing only requests for the given
+// object, preserving order.
+func (t *Trace) FilterObject(obj int) *Trace {
+	out := &Trace{}
+	for _, r := range t.Records {
+		if r.Object == obj {
+			out.Records = append(out.Records, r)
+		}
+	}
+	return out
+}
+
+// WriteTo streams the trace as JSON lines. It implements io.WriterTo.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	enc := json.NewEncoder(bw)
+	for i := range t.Records {
+		if err := enc.Encode(&t.Records[i]); err != nil {
+			return n, fmt.Errorf("storage: encoding trace record %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ReadTrace parses a JSON-lines trace produced by WriteTo.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for i := 0; ; i++ {
+		var rec TraceRecord
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return t, nil
+			}
+			return nil, fmt.Errorf("storage: decoding trace record %d: %w", i, err)
+		}
+		t.Records = append(t.Records, rec)
+	}
+}
+
+// multiTracer fans records out to several tracers.
+type multiTracer []Tracer
+
+func (m multiTracer) Record(rec TraceRecord) {
+	for _, t := range m {
+		t.Record(rec)
+	}
+}
+
+// MultiTracer combines tracers; nil entries are dropped. It returns nil when
+// no tracer remains.
+func MultiTracer(ts ...Tracer) Tracer {
+	var out multiTracer
+	for _, t := range ts {
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	if len(out) == 1 {
+		return out[0]
+	}
+	return out
+}
