@@ -216,7 +216,11 @@ func BenchmarkAblation_Solver(b *testing.B) {
 			return nlp.ProjectedGradient(ev, inst, init, nlp.Options{MaxIters: 60})
 		}},
 		{"anneal", func() nlp.Result {
-			return nlp.Anneal(ev, inst, init, nlp.AnnealOptions{Options: nlp.Options{Seed: 1, MaxIters: 4000}})
+			res, err := nlp.Anneal(ev, inst, init, nlp.AnnealOptions{Options: nlp.Options{Seed: 1, MaxIters: 4000}})
+			if err != nil {
+				panic(err)
+			}
+			return res
 		}},
 	} {
 		b.Run(tc.name, func(b *testing.B) {

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	advisor -problem problem.json [-seed N] [-non-regular] [-utilizations]
+//	        [-v | -log-level L] [-trace-out solver.jsonl]
+//	        [-metrics-out metrics.prom] [-cpuprofile f] [-memprofile f]
 //
 // The problem file describes objects, targets and per-object workloads:
 //
@@ -34,10 +36,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dblayout"
 	"dblayout/internal/costmodel"
 	"dblayout/internal/layout"
+	"dblayout/internal/obs"
 	"dblayout/internal/storage"
 )
 
@@ -109,12 +113,23 @@ func run() error {
 	seed := flag.Int64("seed", 1, "solver random seed")
 	nonRegular := flag.Bool("non-regular", false, "skip regularization (solver output may use uneven fractions)")
 	showUtils := flag.Bool("utilizations", false, "also print predicted per-target utilizations")
+	var cli obs.CLI
+	cli.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *problemPath == "" {
 		flag.Usage()
 		return fmt.Errorf("-problem is required")
 	}
+	sess, err := cli.Start(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "advisor: closing observability outputs:", cerr)
+		}
+	}()
 	data, err := os.ReadFile(*problemPath)
 	if err != nil {
 		return err
@@ -141,12 +156,28 @@ func run() error {
 		p.Targets = append(p.Targets, &layout.Target{Name: t.Name, Capacity: t.CapacityMB << 20, Model: m})
 	}
 
-	rec, err := dblayout.Recommend(p, dblayout.Options{
+	opt := dblayout.Options{
 		Seed:               *seed,
 		SkipRegularization: *nonRegular,
-	})
+		Logger:             sess.Logger,
+	}
+	if sess.Trace != nil {
+		opt.Trace = func(ev dblayout.TraceEvent) { sess.Trace.Write(ev) }
+	}
+	start := time.Now()
+	rec, err := dblayout.Recommend(p, opt)
+	elapsed := time.Since(start)
 	if err != nil {
 		return err
+	}
+	if reg := sess.Registry; reg != nil {
+		reg.Counter("solver_iters_total").Add(int64(rec.SolverIters))
+		reg.Counter("solver_evals_total").Add(int64(rec.SolverEvals))
+		reg.Gauge("advisor_final_objective").Set(rec.FinalObjective)
+		reg.Gauge("advisor_solver_objective").Set(rec.SolverObjective)
+		reg.Gauge("advisor_solve_seconds").Set(rec.SolveTime.Seconds())
+		reg.Gauge("advisor_regularize_seconds").Set(rec.RegularizeTime.Seconds())
+		reg.Gauge("advisor_elapsed_seconds").Set(elapsed.Seconds())
 	}
 
 	fmt.Printf("recommended layout (predicted max utilization %.1f%%, SEE %.1f%%):\n\n",
@@ -163,6 +194,8 @@ func run() error {
 		for j, u := range utils {
 			fmt.Printf("  %-12s %6.1f%%\n", p.Targets[j].Name, 100*u)
 		}
+		fmt.Printf("\nsolver effort: %d iterations, %d objective evaluations, %v total\n",
+			rec.SolverIters, rec.SolverEvals, elapsed.Round(time.Millisecond))
 	}
 	return nil
 }

@@ -7,6 +7,8 @@
 // Usage:
 //
 //	experiments [-run all|fig8|fig11|fig15|fig17|fig18|fig19|fig20] [-quick] [-seed N]
+//	            [-v | -log-level L] [-trace-out solver.jsonl]
+//	            [-metrics-out metrics.prom] [-cpuprofile f] [-memprofile f]
 //
 // fig11 also prints the layout figures (1, 12, 14) and utilization-stage
 // figure (13) derived from the same runs.
@@ -20,19 +22,39 @@ import (
 	"time"
 
 	"dblayout/internal/experiments"
+	"dblayout/internal/nlp"
+	"dblayout/internal/obs"
 )
 
 func main() {
 	which := flag.String("run", "all", "experiment to run: all, fig8, fig11, fig15, fig17, fig18, fig19, fig20, ablation")
 	quick := flag.Bool("quick", false, "reduced scale (coarse calibration, fewer queries)")
 	seed := flag.Int64("seed", 1, "replay and solver seed")
+	var cli obs.CLI
+	cli.Register(flag.CommandLine)
 	flag.Parse()
+
+	sess, err := cli.Start(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if cerr := sess.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "experiments: closing observability outputs:", cerr)
+		}
+	}()
 
 	cfg := experiments.NewConfig()
 	if *quick {
 		cfg = experiments.NewQuickConfig()
 	}
 	cfg.Seed = *seed
+	cfg.Logger = sess.Logger
+	cfg.Metrics = sess.Registry
+	if sess.Trace != nil {
+		cfg.Trace = func(ev nlp.TraceEvent) { sess.Trace.Write(ev) }
+	}
 
 	run := func(name string, fn func() error) {
 		if *which != "all" && *which != name {

@@ -44,6 +44,7 @@ package dblayout
 import (
 	"fmt"
 	"io"
+	"log/slog"
 
 	"dblayout/internal/core"
 	"dblayout/internal/costmodel"
@@ -81,6 +82,11 @@ type (
 	TraceRecord = storage.TraceRecord
 	// Trace is an in-memory block I/O trace.
 	Trace = storage.Trace
+	// TraceEvent is one solver iteration observed by Options.Trace.
+	TraceEvent = nlp.TraceEvent
+	// TrajPoint is one decimated point of a Recommendation's solver
+	// objective trajectory.
+	TrajPoint = nlp.TrajPoint
 )
 
 // Object kinds.
@@ -125,6 +131,14 @@ type Options struct {
 	// MultiStartSEE additionally seeds the solver from the SEE layout
 	// (recommended; enabled by default through Recommend).
 	DisableMultiStart bool
+	// Logger, when non-nil, receives advisor phase spans (seed, solve,
+	// regularize, validate) with durations and objective deltas. Nil
+	// disables logging with no overhead.
+	Logger *slog.Logger
+	// Trace, when non-nil, observes every solver iteration. The hook is
+	// called synchronously on the solver goroutine and must be fast. Nil
+	// disables tracing with no overhead.
+	Trace func(TraceEvent)
 }
 
 // Recommend runs the layout advisor on the problem and returns the
@@ -147,7 +161,8 @@ func Recommend(p Problem, opts ...Options) (*Recommendation, error) {
 	}
 	copt := core.Options{
 		SkipRegularization: opt.SkipRegularization,
-		NLP:                nlp.Options{Seed: opt.Seed},
+		NLP:                nlp.Options{Seed: opt.Seed, Trace: opt.Trace},
+		Logger:             opt.Logger,
 	}
 	if !opt.DisableMultiStart {
 		heuristic, err := layout.InitialLayout(inst)

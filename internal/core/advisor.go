@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"dblayout/internal/layout"
@@ -77,6 +78,11 @@ type Options struct {
 	// after regularization (an extension beyond the paper; see
 	// PolishRegular). Exposed for ablation.
 	SkipPolish bool
+	// Logger, when non-nil, receives a span per advisor phase
+	// (seed -> solve -> regularize -> validate) with durations and
+	// objective deltas. Nil disables logging entirely (zero overhead:
+	// no handler is ever consulted).
+	Logger *slog.Logger
 }
 
 // Recommendation is the advisor's output, retaining the intermediate layouts
@@ -97,11 +103,20 @@ type Recommendation struct {
 	FinalObjective   float64
 
 	// SolveTime and RegularizeTime break down where the advisor spent
-	// its time (paper Fig. 19).
+	// its time (paper Fig. 19). RegularizeTime includes PolishTime.
 	SolveTime      time.Duration
 	RegularizeTime time.Duration
+	// InitialTime is the time spent constructing the heuristic initial
+	// layout (zero when explicit initial layouts were supplied).
+	InitialTime time.Duration
+	// PolishTime is the share of RegularizeTime spent in the
+	// regular-to-regular polish pass.
+	PolishTime time.Duration
 	// SolverIters and SolverEvals report solver effort.
 	SolverIters, SolverEvals int
+	// Trajectory is the winning solver run's bounded objective-sample
+	// series, for convergence plots (see nlp.Result.Trajectory).
+	Trajectory []nlp.TrajPoint
 }
 
 // Advisor recommends optimized layouts for one problem instance.
@@ -125,15 +140,34 @@ func (a *Advisor) Evaluator() *layout.Evaluator { return a.ev }
 // Instance returns the problem instance.
 func (a *Advisor) Instance() *layout.Instance { return a.inst }
 
+// log emits a phase span when a logger is configured. The guard keeps the
+// disabled path free of any slog machinery.
+func (a *Advisor) log(phase string, args ...interface{}) {
+	if a.opt.Logger == nil {
+		return
+	}
+	a.opt.Logger.Info("advisor phase", append([]interface{}{"phase", phase}, args...)...)
+}
+
 // Recommend runs the full pipeline of Fig. 4 and returns the recommendation.
 func (a *Advisor) Recommend() (*Recommendation, error) {
 	inits := a.opt.InitialLayouts
+	var seedTime time.Duration
 	if len(inits) == 0 {
+		start := time.Now()
 		init, err := layout.InitialLayout(a.inst)
 		if err != nil {
 			return nil, fmt.Errorf("core: initial layout: %w", err)
 		}
+		seedTime = time.Since(start)
+		a.log("seed", "duration", seedTime, "objective", a.ev.MaxUtilization(init))
 		inits = []*layout.Layout{init}
+	} else if a.opt.Logger != nil {
+		// Explicit starting points (multi-start): report each one.
+		for k, init := range inits {
+			a.log("seed", "start", k, "provided", true,
+				"objective", a.ev.MaxUtilization(init))
+		}
 	}
 
 	var best *Recommendation
@@ -145,10 +179,21 @@ func (a *Advisor) Recommend() (*Recommendation, error) {
 		if err != nil {
 			return nil, err
 		}
+		rec.InitialTime = seedTime
 		if best == nil || rec.FinalObjective < best.FinalObjective {
 			best = rec
 		}
 	}
+
+	// Final validation: the recommendation must be a valid layout for the
+	// instance's capacities and constraints, whatever path produced it.
+	start := time.Now()
+	if err := a.inst.ValidateLayout(best.Final); err != nil {
+		return nil, fmt.Errorf("core: recommended layout invalid: %w", err)
+	}
+	a.log("validate", "duration", time.Since(start),
+		"objective", best.FinalObjective,
+		"delta", best.InitialObjective-best.FinalObjective)
 	return best, nil
 }
 
@@ -199,7 +244,11 @@ func (a *Advisor) oneRound(init *layout.Layout, seedShift int64) (*Recommendatio
 			opt.Options = a.opt.NLP
 		}
 		opt.Seed += seedShift
-		res = nlp.Anneal(a.ev, a.inst, init, opt)
+		var err error
+		res, err = nlp.Anneal(a.ev, a.inst, init, opt)
+		if err != nil {
+			return nil, fmt.Errorf("core: anneal: %w", err)
+		}
 	default:
 		return nil, fmt.Errorf("core: unknown solver %v", a.opt.Solver)
 	}
@@ -208,6 +257,11 @@ func (a *Advisor) oneRound(init *layout.Layout, seedShift int64) (*Recommendatio
 	rec.SolverObjective = res.Objective
 	rec.SolverIters = res.Iters
 	rec.SolverEvals = res.Evals
+	rec.Trajectory = res.Trajectory
+	a.log("solve", "solver", a.opt.Solver.String(), "duration", rec.SolveTime,
+		"objective", rec.SolverObjective,
+		"delta", rec.InitialObjective-rec.SolverObjective,
+		"iters", res.Iters, "evals", res.Evals)
 
 	if a.opt.SkipRegularization {
 		rec.Final = rec.Solver
@@ -222,10 +276,15 @@ func (a *Advisor) oneRound(init *layout.Layout, seedShift int64) (*Recommendatio
 		return nil, fmt.Errorf("core: regularization: %w", err)
 	}
 	if !a.opt.SkipPolish {
+		polishStart := time.Now()
 		reg = PolishRegular(a.ev, a.inst, reg)
+		rec.PolishTime = time.Since(polishStart)
 	}
 	rec.RegularizeTime = time.Since(start)
 	rec.Final = reg
 	rec.FinalObjective = a.ev.MaxUtilization(reg)
+	a.log("regularize", "duration", rec.RegularizeTime, "polish", rec.PolishTime,
+		"objective", rec.FinalObjective,
+		"delta", rec.SolverObjective-rec.FinalObjective)
 	return rec, nil
 }

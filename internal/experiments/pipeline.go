@@ -15,12 +15,14 @@ package experiments
 
 import (
 	"fmt"
+	"log/slog"
 
 	"dblayout/internal/benchdb"
 	"dblayout/internal/core"
 	"dblayout/internal/costmodel"
 	"dblayout/internal/layout"
 	"dblayout/internal/nlp"
+	"dblayout/internal/obs"
 	"dblayout/internal/replay"
 	"dblayout/internal/rubicon"
 )
@@ -37,6 +39,15 @@ type Config struct {
 	// Quick shrinks workloads (fewer queries) for use in tests; the
 	// paper-scale runs leave it false.
 	Quick bool
+	// Logger, when non-nil, receives advisor phase spans and replay
+	// summaries. Nil disables logging.
+	Logger *slog.Logger
+	// Trace, when non-nil, observes every solver iteration of every
+	// advisor run in the experiments. Nil disables tracing.
+	Trace func(nlp.TraceEvent)
+	// Metrics, when non-nil, accumulates replay counters and solver
+	// effort across the experiments. Nil disables collection.
+	Metrics *obs.Registry
 }
 
 // NewConfig returns the standard experiment configuration.
@@ -98,13 +109,19 @@ func (c *Config) advise(inst *layout.Instance) (*core.Recommendation, error) {
 		return nil, err
 	}
 	adv, err := core.New(inst, core.Options{
-		NLP:            nlp.Options{Seed: c.Seed},
+		NLP:            nlp.Options{Seed: c.Seed, Trace: c.Trace},
 		InitialLayouts: []*layout.Layout{heuristic, layout.SEE(inst.N(), inst.M())},
+		Logger:         c.Logger,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return adv.Recommend()
+	rec, err := adv.Recommend()
+	if err == nil && c.Metrics != nil {
+		c.Metrics.Counter("solver_iters_total").Add(int64(rec.SolverIters))
+		c.Metrics.Counter("solver_evals_total").Add(int64(rec.SolverEvals))
+	}
+	return rec, err
 }
 
 // traceAndFit replays the workload under the given layout with an online
@@ -116,7 +133,8 @@ func (c *Config) traceAndFit(sys *replay.System, l *layout.Layout, w *benchdb.OL
 	// whole trace: OLAP phases are bursts, and burst-rate contention is
 	// what the interference model needs to see.
 	fitter := rubicon.NewFitter(names(sys), rubicon.Options{ActiveRates: true})
-	res, err := replay.RunOLAP(sys, l, w, replay.Options{Seed: c.Seed, Tracer: fitter})
+	res, err := replay.RunOLAP(sys, l, w, replay.Options{
+		Seed: c.Seed, Tracer: fitter, Metrics: c.Metrics, Logger: c.Logger})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -137,7 +155,8 @@ func (c *Config) traceAndFit(sys *replay.System, l *layout.Layout, w *benchdb.OL
 
 // replayOLAP replays a workload under a layout without tracing.
 func replayOLAP(sys *replay.System, l *layout.Layout, w *benchdb.OLAPWorkload, cfg *Config) (*replay.OLAPResult, error) {
-	return replay.RunOLAP(sys, l, w, replay.Options{Seed: cfg.Seed})
+	return replay.RunOLAP(sys, l, w, replay.Options{
+		Seed: cfg.Seed, Metrics: cfg.Metrics, Logger: cfg.Logger})
 }
 
 // speedup formats a paper-style speedup factor.

@@ -1,8 +1,10 @@
 package nlp
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"dblayout/internal/layout"
 )
@@ -11,22 +13,34 @@ import (
 type AnnealOptions struct {
 	Options
 	// StartTemp is the initial temperature as a fraction of the initial
-	// objective (default 0.10).
+	// objective. Zero selects the default (0.10); NaN or negative values
+	// are rejected by Anneal.
 	StartTemp float64
-	// Cooling is the geometric cooling factor per iteration (default
-	// 0.999).
+	// Cooling is the geometric cooling factor per iteration. Zero selects
+	// the default (0.999); values that are NaN, negative, or >= 1 (a
+	// schedule that never cools) are rejected by Anneal.
 	Cooling float64
 }
 
-func (o AnnealOptions) withDefaults() AnnealOptions {
+// withDefaults fills zero fields with the defaults and rejects out-of-range
+// schedules instead of silently clamping them: a NaN or negative temperature
+// and a cooling factor outside (0, 1) are configuration bugs the caller
+// should hear about, not values to be quietly repaired.
+func (o AnnealOptions) withDefaults() (AnnealOptions, error) {
 	o.Options = o.Options.withDefaults()
-	if o.StartTemp <= 0 {
+	switch {
+	case math.IsNaN(o.StartTemp) || o.StartTemp < 0:
+		return o, fmt.Errorf("nlp: anneal StartTemp %g out of range [0, inf): 0 selects the default", o.StartTemp)
+	case o.StartTemp == 0:
 		o.StartTemp = 0.10
 	}
-	if o.Cooling <= 0 || o.Cooling >= 1 {
+	switch {
+	case math.IsNaN(o.Cooling) || o.Cooling < 0 || o.Cooling >= 1:
+		return o, fmt.Errorf("nlp: anneal Cooling %g out of range [0, 1): 0 selects the default", o.Cooling)
+	case o.Cooling == 0:
 		o.Cooling = 0.999
 	}
-	return o
+	return o, nil
 }
 
 // Anneal runs simulated annealing over random transfer moves. It explores
@@ -34,13 +48,23 @@ func (o AnnealOptions) withDefaults() AnnealOptions {
 // exists mainly for the ablation study comparing solver strategies (the
 // related-work Rubio et al. system used simulated annealing for a similar
 // placement problem).
-func Anneal(ev Evaluator, inst *layout.Instance, init *layout.Layout, opt AnnealOptions) Result {
-	opt = opt.withDefaults()
+//
+// The run is reproducible from Options.Seed alone (Seed 0 is the
+// deterministic default seed; the global math/rand state is never
+// consulted). An error is returned for out-of-range annealing schedules;
+// see AnnealOptions.
+func Anneal(ev Evaluator, inst *layout.Instance, init *layout.Layout, opt AnnealOptions) (Result, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
 	rng := rand.New(rand.NewSource(opt.Seed + 2))
 
 	s := newTransferState(ev, inst, init.Clone())
 	res := Result{}
 	cur := s.objective()
+	tk := newTracker("anneal", opt.Trace, cur)
 	best := s.l.Clone()
 	bestObj := cur
 	temp := opt.StartTemp * cur
@@ -54,7 +78,8 @@ func Anneal(ev Evaluator, inst *layout.Instance, init *layout.Layout, opt Anneal
 		obj, _ := s.tryMove(m)
 		res.Iters++
 		delta := obj - cur
-		if delta <= 0 || (temp > 0 && rng.Float64() < math.Exp(-delta/temp)) {
+		accepted := delta <= 0 || (temp > 0 && rng.Float64() < math.Exp(-delta/temp))
+		if accepted {
 			s.apply(m)
 			cur = obj
 			if cur < bestObj {
@@ -62,13 +87,16 @@ func Anneal(ev Evaluator, inst *layout.Instance, init *layout.Layout, opt Anneal
 				best = s.l.Clone()
 			}
 		}
+		tk.note(0, cur, accepted, temp, s.evals)
 		temp *= opt.Cooling
 	}
 
 	res.Layout = best
 	res.Objective = bestObj
 	res.Evals = s.evals
-	return res
+	res.Elapsed = time.Since(start)
+	tk.finish(&res)
+	return res, nil
 }
 
 // randomMove proposes a feasible random transfer of part of a random

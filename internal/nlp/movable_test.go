@@ -41,7 +41,10 @@ func TestAnnealMovableObjects(t *testing.T) {
 	inst := layouttest.Instance(4)
 	ev := layout.NewEvaluator(inst)
 	init, _ := layout.InitialLayout(inst)
-	res := Anneal(ev, inst, init, AnnealOptions{Options: Options{Seed: 3, MaxIters: 2000, MovableObjects: []int{2, 3}}})
+	res, err := Anneal(ev, inst, init, AnnealOptions{Options: Options{Seed: 3, MaxIters: 2000, MovableObjects: []int{2, 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, i := range []int{0, 1} {
 		for j := 0; j < 4; j++ {
 			if res.Layout.At(i, j) != init.At(i, j) {
@@ -63,7 +66,10 @@ func TestOptionsDefaults(t *testing.T) {
 }
 
 func TestAnnealOptionsDefaults(t *testing.T) {
-	o := AnnealOptions{}.withDefaults()
+	o, err := AnnealOptions{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if o.StartTemp <= 0 || o.Cooling <= 0 || o.Cooling >= 1 {
 		t.Fatalf("anneal defaults not applied: %+v", o)
 	}

@@ -186,7 +186,10 @@ func TestAnnealImproves(t *testing.T) {
 	ev := layout.NewEvaluator(inst)
 	init, _ := layout.InitialLayout(inst)
 	start := ev.MaxUtilization(init)
-	res := Anneal(ev, inst, init, AnnealOptions{Options: Options{Seed: 3, MaxIters: 4000}})
+	res, err := Anneal(ev, inst, init, AnnealOptions{Options: Options{Seed: 3, MaxIters: 4000}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	solveCheck(t, inst, res, start)
 	if res.Objective >= start {
 		t.Fatalf("no improvement: %g -> %g", start, res.Objective)

@@ -22,7 +22,11 @@
 // projection step).
 package nlp
 
-import "dblayout/internal/layout"
+import (
+	"time"
+
+	"dblayout/internal/layout"
+)
 
 // Evaluator supplies per-target utilization predictions for candidate
 // layouts. *layout.Evaluator implements it.
@@ -43,8 +47,16 @@ type Options struct {
 	// Restarts is the number of random perturbation rounds after the
 	// first descent converges; the best layout found is kept (default 3).
 	Restarts int
-	// Seed feeds the perturbation randomness.
+	// Seed feeds the perturbation randomness. Zero means "deterministic
+	// default": every solver derives its generator from Seed alone (never
+	// from the global math/rand state or the clock), so two runs with the
+	// same Seed — including the zero value — produce identical results.
 	Seed int64
+	// Trace, when non-nil, observes every solver iteration. The hook is
+	// invoked synchronously on the solver goroutine after each iteration's
+	// accept/reject decision, so it must be fast; heavyweight sinks should
+	// buffer. The Best field of the delivered events is non-increasing.
+	Trace func(TraceEvent)
 	// StepFractions are the fractions of an object's current assignment
 	// that a single transfer move may shift (default 1, 1/2, 1/4, 1/8).
 	StepFractions []float64
@@ -91,6 +103,13 @@ type Result struct {
 	Objective float64 // max target utilization of Layout
 	Iters     int     // improvement iterations performed
 	Evals     int     // target utilization evaluations performed
+
+	// Elapsed is the solver's wall-clock search time.
+	Elapsed time.Duration
+	// Trajectory samples the objective over the run at a bounded
+	// reservoir of iterations (at most maxTrajPoints entries, spread over
+	// the whole run), for convergence plots and regression triage.
+	Trajectory []TrajPoint
 }
 
 // maxOf returns the maximum value and its index.

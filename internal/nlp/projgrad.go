@@ -2,6 +2,7 @@ package nlp
 
 import (
 	"math"
+	"time"
 
 	"dblayout/internal/layout"
 )
@@ -14,6 +15,7 @@ import (
 // cross-check on TransferSearch.
 func ProjectedGradient(ev Evaluator, inst *layout.Instance, init *layout.Layout, opt Options) Result {
 	opt = opt.withDefaults()
+	start := time.Now()
 	l := init.Clone()
 	res := Result{}
 
@@ -22,6 +24,7 @@ func ProjectedGradient(ev Evaluator, inst *layout.Instance, init *layout.Layout,
 	utils := ev.Utilizations(l)
 	res.Evals += l.M
 	_, cur := maxOf(utils)
+	tk := newTracker("projected-gradient", opt.Trace, cur)
 	step := 0.25
 	const h = 1e-4
 
@@ -92,6 +95,7 @@ func ProjectedGradient(ev Evaluator, inst *layout.Instance, init *layout.Layout,
 			step /= 2
 		}
 		res.Iters++
+		tk.note(0, cur, improved, 0, res.Evals)
 		if !improved || step < 1e-6 {
 			break
 		}
@@ -99,6 +103,8 @@ func ProjectedGradient(ev Evaluator, inst *layout.Instance, init *layout.Layout,
 
 	res.Layout = l
 	res.Objective = cur
+	res.Elapsed = time.Since(start)
+	tk.finish(&res)
 	return res
 }
 

@@ -1,0 +1,109 @@
+package nlp
+
+// TraceEvent is one solver-iteration observation, delivered synchronously to
+// Options.Trace. Events are emitted after the iteration's accept/reject
+// decision, so Objective is the objective the search holds going into the
+// next iteration. The JSON field names are the cmd/advisor --trace-out
+// JSONL schema.
+type TraceEvent struct {
+	// Solver names the emitting strategy: "transfer",
+	// "projected-gradient", or "anneal".
+	Solver string `json:"solver"`
+	// Restart is the perturbation round the iteration belongs to
+	// (0 = the first descent).
+	Restart int `json:"restart"`
+	// Iter is the global iteration number across restarts, starting at 1.
+	Iter int `json:"iter"`
+	// Objective is the current (post-decision) max target utilization.
+	Objective float64 `json:"objective"`
+	// Best is the lowest objective seen so far, across restarts.
+	Best float64 `json:"best"`
+	// Accepted reports whether the iteration's move was kept.
+	Accepted bool `json:"accepted"`
+	// Temp is the annealing temperature (0 for the other solvers).
+	Temp float64 `json:"temp,omitempty"`
+	// Evals is the cumulative count of target utilization evaluations.
+	Evals int `json:"evals"`
+}
+
+// TrajPoint is one sample of a solver's objective trajectory.
+type TrajPoint struct {
+	Iter      int     `json:"iter"`
+	Objective float64 `json:"objective"`
+	Best      float64 `json:"best"`
+}
+
+// maxTrajPoints bounds Result.Trajectory. When the reservoir fills, every
+// other retained point is dropped and the sampling stride doubles, so the
+// summary stays O(1) in memory regardless of iteration count while keeping
+// samples spread across the whole run.
+const maxTrajPoints = 256
+
+// trajectory is the bounded deterministic reservoir behind Result.Trajectory.
+type trajectory struct {
+	points []TrajPoint
+	stride int
+}
+
+func (t *trajectory) add(p TrajPoint) {
+	if t.stride == 0 {
+		t.stride = 1
+	}
+	if p.Iter%t.stride != 0 {
+		return
+	}
+	t.points = append(t.points, p)
+	if len(t.points) >= maxTrajPoints {
+		kept := t.points[:0]
+		for i := 0; i < len(t.points); i += 2 {
+			kept = append(kept, t.points[i])
+		}
+		t.points = kept
+		t.stride *= 2
+	}
+}
+
+// tracker threads tracing and trajectory recording through a solver run. It
+// is always active — the trajectory summary is cheap (an integer modulo per
+// iteration and a bounded slice) — but only invokes the user hook when one
+// was supplied.
+type tracker struct {
+	solver string
+	trace  func(TraceEvent)
+	traj   trajectory
+	iter   int
+	best   float64
+}
+
+// newTracker seeds the tracker with the initial objective as iteration 0.
+func newTracker(solver string, trace func(TraceEvent), initial float64) *tracker {
+	tk := &tracker{solver: solver, trace: trace, best: initial}
+	tk.traj.add(TrajPoint{Iter: 0, Objective: initial, Best: initial})
+	return tk
+}
+
+// note records the outcome of one solver iteration.
+func (tk *tracker) note(restart int, objective float64, accepted bool, temp float64, evals int) {
+	tk.iter++
+	if objective < tk.best {
+		tk.best = objective
+	}
+	tk.traj.add(TrajPoint{Iter: tk.iter, Objective: objective, Best: tk.best})
+	if tk.trace != nil {
+		tk.trace(TraceEvent{
+			Solver:    tk.solver,
+			Restart:   restart,
+			Iter:      tk.iter,
+			Objective: objective,
+			Best:      tk.best,
+			Accepted:  accepted,
+			Temp:      temp,
+			Evals:     evals,
+		})
+	}
+}
+
+// finish stores the trajectory summary on the result.
+func (tk *tracker) finish(res *Result) {
+	res.Trajectory = tk.traj.points
+}

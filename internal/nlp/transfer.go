@@ -2,6 +2,7 @@ package nlp
 
 import (
 	"math/rand"
+	"time"
 
 	"dblayout/internal/layout"
 )
@@ -17,18 +18,20 @@ import (
 // The initial layout must be valid; the returned layout always is.
 func TransferSearch(ev Evaluator, inst *layout.Instance, init *layout.Layout, opt Options) Result {
 	opt = opt.withDefaults()
+	start := time.Now()
 	rng := rand.New(rand.NewSource(opt.Seed + 1))
 
 	s := newTransferState(ev, inst, init.Clone())
+	tk := newTracker("transfer", opt.Trace, s.objective())
 	res := Result{}
-	s.descend(&res, opt)
+	s.descend(&res, opt, tk, 0)
 
 	best := s.l.Clone()
 	_, bestObj := maxOf(s.utils)
 
 	for r := 0; r < opt.Restarts; r++ {
 		s.perturb(rng, opt)
-		s.descend(&res, opt)
+		s.descend(&res, opt, tk, r+1)
 		if _, obj := maxOf(s.utils); obj < bestObj {
 			bestObj = obj
 			best = s.l.Clone()
@@ -40,6 +43,8 @@ func TransferSearch(ev Evaluator, inst *layout.Instance, init *layout.Layout, op
 
 	res.Layout = best
 	res.Objective = bestObj
+	res.Elapsed = time.Since(start)
+	tk.finish(&res)
 	return res
 }
 
@@ -172,7 +177,7 @@ func (s *transferState) fits(obj, to int, delta float64) bool {
 
 // descend performs greedy improvement until convergence or the iteration
 // budget is exhausted.
-func (s *transferState) descend(res *Result, opt Options) {
+func (s *transferState) descend(res *Result, opt Options, tk *tracker, restart int) {
 	stall := 0
 	for iter := 0; iter < opt.MaxIters; iter++ {
 		curMax, curSum := s.objectivePair()
@@ -182,6 +187,7 @@ func (s *transferState) descend(res *Result, opt Options) {
 		}
 		s.apply(best)
 		res.Iters++
+		tk.note(restart, s.objective(), true, 0, s.evals)
 		// Tie-breaker (sum-only) improvements are allowed to run for a
 		// while to escape plateaus, but must eventually pay off on the
 		// primary objective.

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// CLI bundles the standard observability command-line flags shared by the
+// repo's commands: logging verbosity, solver trace output, metrics output,
+// and CPU/heap profiles. Register the flags, parse, then Start a Session.
+type CLI struct {
+	Verbose    bool
+	LogLevel   string
+	TraceOut   string
+	MetricsOut string
+	CPUProfile string
+	MemProfile string
+}
+
+// Register declares the flags on fs (use flag.CommandLine for a command).
+func (c *CLI) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&c.Verbose, "v", false, "verbose logging (shorthand for -log-level debug)")
+	fs.StringVar(&c.LogLevel, "log-level", "", "log level: debug, info, warn, error (default: logging off)")
+	fs.StringVar(&c.TraceOut, "trace-out", "", "write per-iteration solver trace as JSON lines to this file")
+	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write collected metrics in Prometheus text format to this file")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+}
+
+// Session is the running observability state behind a CLI's flags. Zero-value
+// fields mean the corresponding flag was not set; Logger and Trace are nil
+// (disabled) unless requested, so the instrumented code's no-op paths apply.
+type Session struct {
+	// Logger is non-nil when -v or -log-level was given.
+	Logger *slog.Logger
+	// Registry is non-nil when -metrics-out was given.
+	Registry *Registry
+	// Trace is non-nil when -trace-out was given; it streams one JSON
+	// object per call to the trace file.
+	Trace *JSONL
+
+	cli       *CLI
+	traceFile *os.File
+	cpuFile   *os.File
+}
+
+// Start opens the outputs the flags request. Call Close when the command is
+// done (it writes the metrics and heap-profile files).
+func (c *CLI) Start(logDst io.Writer) (*Session, error) {
+	s := &Session{cli: c, Registry: nil}
+	level := c.LogLevel
+	if c.Verbose && level == "" {
+		level = "debug"
+	}
+	if level != "" {
+		var lv slog.Level
+		if err := lv.UnmarshalText([]byte(level)); err != nil {
+			return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+		}
+		s.Logger = slog.New(slog.NewTextHandler(logDst, &slog.HandlerOptions{Level: lv}))
+	}
+	if c.MetricsOut != "" {
+		s.Registry = NewRegistry()
+	}
+	if c.TraceOut != "" {
+		f, err := os.Create(c.TraceOut)
+		if err != nil {
+			return nil, err
+		}
+		s.traceFile = f
+		s.Trace = NewJSONL(f)
+	}
+	if c.CPUProfile != "" {
+		f, err := os.Create(c.CPUProfile)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			s.Close()
+			return nil, err
+		}
+		s.cpuFile = f
+	}
+	return s, nil
+}
+
+// Close flushes and closes every output the session opened: it stops the CPU
+// profile, writes the heap profile and the metrics file, and closes the trace
+// stream. The first error encountered is returned.
+func (s *Session) Close() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(s.cpuFile.Close())
+		s.cpuFile = nil
+	}
+	if s.cli.MemProfile != "" {
+		f, err := os.Create(s.cli.MemProfile)
+		if err != nil {
+			keep(err)
+		} else {
+			runtime.GC()
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		}
+		s.cli.MemProfile = ""
+	}
+	if s.Registry != nil && s.cli.MetricsOut != "" {
+		f, err := os.Create(s.cli.MetricsOut)
+		if err != nil {
+			keep(err)
+		} else {
+			keep(s.Registry.WriteProm(f))
+			keep(f.Close())
+		}
+		s.cli.MetricsOut = ""
+	}
+	if s.traceFile != nil {
+		keep(s.Trace.Err())
+		keep(s.traceFile.Close())
+		s.traceFile = nil
+	}
+	return first
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCLISessionOutputs(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.prom")
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var cli CLI
+	cli.Register(fs)
+	if err := fs.Parse([]string{
+		"-log-level", "info",
+		"-trace-out", tracePath,
+		"-metrics-out", metricsPath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var logBuf bytes.Buffer
+	sess, err := cli.Start(&logBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Logger == nil || sess.Registry == nil || sess.Trace == nil {
+		t.Fatal("session outputs not all enabled")
+	}
+	sess.Logger.Info("hello")
+	sess.Registry.Counter("x_total").Inc()
+	if err := sess.Trace.Write(map[string]int{"iter": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !strings.Contains(logBuf.String(), "hello") {
+		t.Error("log line not written")
+	}
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(trace)) != `{"iter":1}` {
+		t.Errorf("trace file content %q", trace)
+	}
+	metrics, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metrics), "x_total 1") {
+		t.Errorf("metrics file content %q", metrics)
+	}
+}
+
+func TestCLIVerboseImpliesDebug(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var cli CLI
+	cli.Register(fs)
+	if err := fs.Parse([]string{"-v"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sess, err := cli.Start(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	sess.Logger.Debug("dbg")
+	if !strings.Contains(buf.String(), "dbg") {
+		t.Error("-v did not enable debug logging")
+	}
+}
+
+func TestCLIBadLogLevel(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var cli CLI
+	cli.Register(fs)
+	if err := fs.Parse([]string{"-log-level", "nope"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Start(&bytes.Buffer{}); err == nil {
+		t.Fatal("bad log level accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// JSONL writes a stream of JSON-encoded events, one per line — the format
+// cmd/advisor's --trace-out emits. It is safe for concurrent use and sticky
+// on error: after the first failed write, subsequent writes are dropped and
+// Err reports the failure. A nil *JSONL discards all events.
+type JSONL struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL returns a JSONL writer over w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+// Write appends one event as a JSON line.
+func (j *JSONL) Write(v interface{}) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	j.err = j.enc.Encode(v)
+	return j.err
+}
+
+// Err returns the first write error, if any.
+func (j *JSONL) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}

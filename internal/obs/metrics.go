@@ -1,0 +1,424 @@
+// Package obs is the repository's dependency-free observability layer:
+// a metrics registry (counters, gauges, fixed-bucket histograms), and a
+// JSON-lines event writer for solver traces. It is built entirely on the
+// standard library and is designed around two invariants:
+//
+//   - Zero overhead when disabled. Every accessor on a nil *Registry
+//     returns a nil metric, and every method on a nil metric is a no-op,
+//     so instrumented code paths can call Inc/Observe unconditionally.
+//   - Safe under concurrency. All metric updates are atomic; the registry
+//     itself is mutex-protected and may be read (WriteProm/WriteJSON)
+//     while writers are active.
+//
+// Metric names follow the Prometheus convention (`snake_case`, `_total`
+// suffix on counters) and may carry a label set baked into the name via
+// Name, e.g. `replay_device_busy_seconds{device="disk0"}`. Registry.WriteProm
+// renders the Prometheus text exposition format; Registry.WriteJSON renders
+// the same data as a single JSON object for programmatic consumption.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Name composes a metric name with a label set: Name("x_total", "dev", "a")
+// returns `x_total{dev="a"}`. Label pairs must come in key, value order;
+// values are quoted and escaped for the Prometheus text format.
+func Name(family string, labelPairs ...string) string {
+	if len(labelPairs) == 0 {
+		return family
+	}
+	if len(labelPairs)%2 != 0 {
+		panic("obs: Name requires key/value label pairs")
+	}
+	var b strings.Builder
+	b.WriteString(family)
+	b.WriteByte('{')
+	for i := 0; i < len(labelPairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labelPairs[i], labelPairs[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// family splits a composed metric name into its family (the part before any
+// label set).
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float metric that can move in either direction.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds v atomically. No-op on a nil gauge.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram. An observation lands in the first
+// bucket whose upper bound is >= the value (Prometheus `le` semantics); a
+// value above every bound is counted only in the implicit +Inf bucket.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds, exclusive of +Inf
+	counts  []atomic.Int64
+	inf     atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram builds a histogram with the given upper bucket bounds, which
+// must be strictly increasing. An implicit +Inf bucket is always appended.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not increasing at %d: %v", i, bounds))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b))}
+}
+
+// LatencyBuckets returns exponential bounds suited to simulated I/O latency
+// in seconds: 50 µs to ~105 ms doubling, a good match for the disk and SSD
+// models' service-time range.
+func LatencyBuckets() []float64 {
+	bounds := make([]float64, 12)
+	v := 50e-6
+	for i := range bounds {
+		bounds[i] = v
+		v *= 2
+	}
+	return bounds
+}
+
+// Observe records one value. No-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Bucket is one histogram bucket in a snapshot: the count of observations at
+// or below the upper bound (non-cumulative).
+type Bucket struct {
+	UpperBound float64 `json:"le"`
+	Count      int64   `json:"count"`
+}
+
+// MarshalJSON renders the bucket, spelling the +Inf overflow bound as the
+// string "+Inf" (JSON has no infinity literal).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	if math.IsInf(b.UpperBound, 1) {
+		return json.Marshal(struct {
+			Le    string `json:"le"`
+			Count int64  `json:"count"`
+		}{"+Inf", b.Count})
+	}
+	return json.Marshal(struct {
+		Le    float64 `json:"le"`
+		Count int64   `json:"count"`
+	}{b.UpperBound, b.Count})
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	Buckets []Bucket `json:"buckets"` // per-bucket (non-cumulative) counts; last bound is +Inf
+	Count   int64    `json:"n"`
+	Sum     float64  `json:"sum"`
+}
+
+// Mean returns the mean observation, or 0 with no observations.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 <= q <= 1):
+// the bound of the bucket containing it. Returns +Inf when the quantile
+// falls in the overflow bucket, 0 with no observations.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var acc int64
+	for _, b := range s.Buckets {
+		acc += b.Count
+		if acc >= rank {
+			return b.UpperBound
+		}
+	}
+	return math.Inf(1)
+}
+
+// Snapshot copies the histogram's current state. On a nil histogram it
+// returns a zero snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Buckets: make([]Bucket, len(h.bounds)+1),
+		Count:   h.count.Load(),
+		Sum:     math.Float64frombits(h.sumBits.Load()),
+	}
+	for i, b := range h.bounds {
+		s.Buckets[i] = Bucket{UpperBound: b, Count: h.counts[i].Load()}
+	}
+	s.Buckets[len(h.bounds)] = Bucket{UpperBound: math.Inf(1), Count: h.inf.Load()}
+	return s
+}
+
+// Registry is a named collection of metrics. The zero value is not usable;
+// construct with NewRegistry. A nil *Registry is valid everywhere and
+// disables collection: its accessors return nil metrics whose methods are
+// no-ops.
+type Registry struct {
+	mu    sync.Mutex
+	names []string // insertion order
+	m     map[string]interface{}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: map[string]interface{}{}}
+}
+
+// lookup returns the existing metric under name or registers the one built
+// by mk.
+func (r *Registry) lookup(name string, mk func() interface{}) interface{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.m[name]; ok {
+		return v
+	}
+	v := mk()
+	r.m[name] = v
+	r.names = append(r.names, name)
+	return v
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Returns nil (a no-op counter) on a nil registry. Panics if the name
+// is already registered as a different metric type.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, func() interface{} { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+// Returns nil (a no-op gauge) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, func() interface{} { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bounds on first use (later bounds are ignored). Returns nil (a
+// no-op histogram) on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, func() interface{} { return NewHistogram(bounds) }).(*Histogram)
+}
+
+// snapshot returns the registered names (sorted for stable output) and a
+// copy of the metric map.
+func (r *Registry) snapshot() ([]string, map[string]interface{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, len(r.names))
+	copy(names, r.names)
+	sort.Strings(names)
+	m := make(map[string]interface{}, len(r.m))
+	for k, v := range r.m {
+		m[k] = v
+	}
+	return names, m
+}
+
+// WriteProm renders the registry in the Prometheus text exposition format
+// (version 0.0.4): a `# TYPE` line per metric family followed by its
+// samples. Histograms emit cumulative `_bucket{le=...}` samples plus `_sum`
+// and `_count`. A nil registry writes nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	names, m := r.snapshot()
+	typed := map[string]bool{} // families that already got a TYPE line
+	for _, name := range names {
+		fam := family(name)
+		switch v := m[name].(type) {
+		case *Counter:
+			if !typed[fam] {
+				typed[fam] = true
+				if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", fam); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, v.Value()); err != nil {
+				return err
+			}
+		case *Gauge:
+			if !typed[fam] {
+				typed[fam] = true
+				if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", fam); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s %g\n", name, v.Value()); err != nil {
+				return err
+			}
+		case *Histogram:
+			if !typed[fam] {
+				typed[fam] = true
+				if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", fam); err != nil {
+					return err
+				}
+			}
+			if err := writePromHistogram(w, name, v.Snapshot()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one histogram's samples. The le label is
+// appended to any labels already baked into the name.
+func writePromHistogram(w io.Writer, name string, s HistogramSnapshot) error {
+	fam, labels := family(name), ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		labels = strings.TrimSuffix(name[i+1:], "}") + ","
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		le := "+Inf"
+		if !math.IsInf(b.UpperBound, 1) {
+			le = formatFloat(b.UpperBound)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", fam, labels, le, cum); err != nil {
+			return err
+		}
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + strings.TrimSuffix(labels, ",") + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", fam, suffix, s.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam, suffix, s.Count)
+	return err
+}
+
+func formatFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+// WriteJSON renders the registry as one JSON object mapping metric names to
+// values (counters and gauges) or histogram snapshots. A nil registry
+// writes an empty object.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := map[string]interface{}{}
+	if r != nil {
+		names, m := r.snapshot()
+		for _, name := range names {
+			switch v := m[name].(type) {
+			case *Counter:
+				out[name] = v.Value()
+			case *Gauge:
+				out[name] = v.Value()
+			case *Histogram:
+				out[name] = v.Snapshot()
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	// le semantics: a value exactly on a bound belongs to that bucket.
+	h.Observe(1)   // bucket le=1
+	h.Observe(1.5) // bucket le=2
+	h.Observe(2)   // bucket le=2
+	h.Observe(4)   // bucket le=4
+	h.Observe(4.1) // +Inf
+	s := h.Snapshot()
+	want := []int64{1, 2, 1, 1}
+	for i, b := range s.Buckets {
+		if b.Count != want[i] {
+			t.Fatalf("bucket %d (le=%g) count = %d, want %d", i, b.UpperBound, b.Count, want[i])
+		}
+	}
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if got := s.Sum; math.Abs(got-12.6) > 1e-9 {
+		t.Fatalf("sum = %g, want 12.6", got)
+	}
+	if !math.IsInf(s.Buckets[3].UpperBound, 1) {
+		t.Fatal("last bucket bound is not +Inf")
+	}
+	if got := s.Mean(); math.Abs(got-12.6/5) > 1e-9 {
+		t.Fatalf("mean = %g", got)
+	}
+	if q := s.Quantile(0.5); q != 2 {
+		t.Fatalf("p50 = %g, want 2", q)
+	}
+	if q := s.Quantile(1); !math.IsInf(q, 1) {
+		t.Fatalf("p100 = %g, want +Inf", q)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing bounds accepted")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+// TestWritePromGolden pins the exact Prometheus text exposition output.
+func TestWritePromGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("solver_iters_total").Add(42)
+	r.Gauge(Name("device_utilization", "device", "disk0")).Set(0.75)
+	r.Gauge(Name("device_utilization", "device", "ssd0")).Set(0.25)
+	h := r.Histogram(Name("latency_seconds", "object", "ORDERS"), []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE device_utilization gauge
+device_utilization{device="disk0"} 0.75
+device_utilization{device="ssd0"} 0.25
+# TYPE latency_seconds histogram
+latency_seconds_bucket{object="ORDERS",le="0.001"} 1
+latency_seconds_bucket{object="ORDERS",le="0.01"} 2
+latency_seconds_bucket{object="ORDERS",le="+Inf"} 3
+latency_seconds_sum{object="ORDERS"} 5.0055
+latency_seconds_count{object="ORDERS"} 3
+# TYPE solver_iters_total counter
+solver_iters_total 42
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("Prometheus output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(7)
+	r.Gauge("b").Set(1.5)
+	r.Histogram("c", []float64{1}).Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	for _, k := range []string{"a_total", "b", "c"} {
+		if _, ok := out[k]; !ok {
+			t.Fatalf("missing key %q in %s", k, buf.String())
+		}
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits_total")
+			g := r.Gauge("level")
+			h := r.Histogram("lat", LatencyBuckets())
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(1e-4)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits_total").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("level").Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %g, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("lat", nil).Snapshot().Count; got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestNilRegistryNoOps verifies the zero-overhead-when-disabled contract:
+// every path through a nil registry and nil metrics must be safe.
+func TestNilRegistryNoOps(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Counter("x").Add(5)
+	r.Gauge("y").Set(1)
+	r.Gauge("y").Add(1)
+	r.Histogram("z", []float64{1}).Observe(2)
+	if r.Counter("x").Value() != 0 || r.Gauge("y").Value() != 0 {
+		t.Fatal("nil metrics returned non-zero values")
+	}
+	if s := r.Histogram("z", nil).Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram snapshot non-empty")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil WriteProm: err=%v out=%q", err, buf.String())
+	}
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var j *JSONL
+	if err := j.Write(map[string]int{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONLLines(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	for i := 0; i < 3; i++ {
+		if err := j.Write(map[string]int{"iter": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	for i, line := range lines {
+		var v map[string]int
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", i, err)
+		}
+		if v["iter"] != i {
+			t.Fatalf("line %d = %v", i, v)
+		}
+	}
+}
+
+func TestNameComposition(t *testing.T) {
+	if got := Name("m_total"); got != "m_total" {
+		t.Fatalf("Name no labels = %q", got)
+	}
+	if got := Name("m_total", "a", "1", "b", "x\ny"); got != `m_total{a="1",b="x\ny"}` {
+		t.Fatalf("Name = %q", got)
+	}
+}

@@ -1,0 +1,163 @@
+package replay
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"dblayout/internal/benchdb"
+	"dblayout/internal/layout"
+	"dblayout/internal/obs"
+)
+
+// TestReplayMetricsPublished runs a small OLAP replay with a metrics registry
+// attached and checks the replay_* families, device stats, and per-object
+// latency histograms come out populated and mutually consistent.
+func TestReplayMetricsPublished(t *testing.T) {
+	w := benchdb.OLAP121()
+	w.Queries = w.Queries[:3]
+	sys := fourDisks(w.Catalog)
+	see := layout.SEE(len(sys.Objects), len(sys.Devices))
+
+	reg := obs.NewRegistry()
+	var logBuf bytes.Buffer
+	res, err := RunOLAP(sys, see, w, Options{
+		Seed:    1,
+		Metrics: reg,
+		Logger:  slog.New(slog.NewTextHandler(&logBuf, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res.DeviceStats) != len(sys.Devices) {
+		t.Fatalf("got %d device stats, want %d", len(res.DeviceStats), len(sys.Devices))
+	}
+	var devRequests int64
+	for j, s := range res.DeviceStats {
+		if s.Requests == 0 {
+			t.Errorf("device %d saw no requests", j)
+		}
+		if s.BusyTime <= 0 {
+			t.Errorf("device %d has no busy time", j)
+		}
+		devRequests += s.Requests
+	}
+	if devRequests != res.Requests {
+		t.Fatalf("device request sum %d != engine submitted %d", devRequests, res.Requests)
+	}
+
+	if len(res.ObjectLatency) != len(sys.Objects) {
+		t.Fatalf("got %d latency snapshots, want %d", len(res.ObjectLatency), len(sys.Objects))
+	}
+	var latCount int64
+	for _, l := range res.ObjectLatency {
+		latCount += l.Count
+	}
+	if latCount == 0 {
+		t.Fatal("no latencies observed")
+	}
+	if latCount > res.Requests {
+		t.Fatalf("latency observations %d exceed submitted requests %d", latCount, res.Requests)
+	}
+
+	var prom bytes.Buffer
+	if err := reg.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	out := prom.String()
+	for _, want := range []string{
+		"replay_requests_total",
+		`replay_device_requests_total{device="d0"}`,
+		`replay_device_utilization{device="d3"}`,
+		`replay_device_busy_seconds{device="d1"}`,
+		`replay_object_latency_seconds_bucket{object=`,
+		"replay_elapsed_seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+	if !strings.Contains(logBuf.String(), "replay complete") {
+		t.Errorf("logger did not receive run summary: %q", logBuf.String())
+	}
+}
+
+// TestReplayMetricsAccumulate checks that two runs sharing one registry add
+// their counters, which is the documented contract of Options.Metrics.
+func TestReplayMetricsAccumulate(t *testing.T) {
+	w := benchdb.OLAP121()
+	w.Queries = w.Queries[:2]
+	sys := fourDisks(w.Catalog)
+	see := layout.SEE(len(sys.Objects), len(sys.Devices))
+
+	reg := obs.NewRegistry()
+	a, err := RunOLAP(sys, see, w, Options{Seed: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOLAP(sys, see, w, Options{Seed: 2, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := reg.Counter("replay_requests_total").Value()
+	if total != a.Requests+b.Requests {
+		t.Fatalf("accumulated requests = %d, want %d+%d", total, a.Requests, b.Requests)
+	}
+}
+
+// TestReplayMetricsNilRegistry checks the no-registry path still collects
+// per-object latency snapshots in the result.
+func TestReplayMetricsNilRegistry(t *testing.T) {
+	w := benchdb.OLAP121()
+	w.Queries = w.Queries[:2]
+	sys := fourDisks(w.Catalog)
+	see := layout.SEE(len(sys.Objects), len(sys.Devices))
+	res, err := RunOLAP(sys, see, w, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var latCount int64
+	for _, l := range res.ObjectLatency {
+		latCount += l.Count
+	}
+	if latCount == 0 {
+		t.Fatal("no latencies observed without a registry")
+	}
+}
+
+// TestConsolidatedMetricsSingleObservation checks the consolidated scenario
+// publishes its shared instrumentation exactly once and mirrors it into both
+// results.
+func TestConsolidatedMetricsSingleObservation(t *testing.T) {
+	olap := benchdb.OLAP121()
+	olap.Queries = olap.Queries[:4]
+	oltp := benchdb.OLTP()
+	objects := append(append([]layout.Object{}, olap.Catalog.Objects...), oltp.Catalog.Objects...)
+	sys := &System{
+		Objects: objects,
+		Devices: []DeviceSpec{Disk15K("d0"), Disk15K("d1"), Disk15K("d2"), Disk15K("d3")},
+	}
+	see := layout.SEE(len(sys.Objects), len(sys.Devices))
+
+	reg := obs.NewRegistry()
+	olapRes, oltpRes, err := RunConsolidated(sys, see, olap, oltp, 5, Options{Seed: 3, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("replay_requests_total").Value() != olapRes.Requests {
+		t.Fatalf("published requests %d != run requests %d",
+			reg.Counter("replay_requests_total").Value(), olapRes.Requests)
+	}
+	if len(oltpRes.DeviceStats) != len(sys.Devices) || len(olapRes.DeviceStats) != len(sys.Devices) {
+		t.Fatal("device stats not mirrored into both results")
+	}
+	var devRequests int64
+	for _, s := range oltpRes.DeviceStats {
+		devRequests += s.Requests
+	}
+	if devRequests != olapRes.Requests {
+		t.Fatalf("device request sum %d != submitted %d", devRequests, olapRes.Requests)
+	}
+}

@@ -2,10 +2,12 @@ package replay
 
 import (
 	"fmt"
+	"log/slog"
 	"math/rand"
 
 	"dblayout/internal/benchdb"
 	"dblayout/internal/layout"
+	"dblayout/internal/obs"
 	"dblayout/internal/storage"
 )
 
@@ -29,6 +31,15 @@ type Options struct {
 	// behaviour of the paper's PostgreSQL-era Linux, whose small
 	// read-ahead window never spanned multiple LVM stripes.
 	PrefetchDepth int
+	// Metrics, when non-nil, receives the run's aggregated counters and
+	// per-object latency histograms (metric families replay_* with
+	// device/object labels). Runs sharing a registry accumulate into the
+	// same counters. Nil disables registry publication; per-object
+	// latency histograms in the results are collected either way.
+	Metrics *obs.Registry
+	// Logger, when non-nil, receives a run-completion summary. Nil
+	// disables logging.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -52,6 +63,13 @@ type OLAPResult struct {
 	Requests int64
 	// Utilizations are the measured per-target busy fractions.
 	Utilizations []float64
+	// DeviceStats are the per-target simulator counters at the end of the
+	// run (same order as the system's devices): queue depths, sequential
+	// hits, read-ahead evictions/collapses, byte splits.
+	DeviceStats []storage.DeviceStats
+	// ObjectLatency holds one request-latency histogram snapshot per
+	// database object (same order as the system's objects), in seconds.
+	ObjectLatency []obs.HistogramSnapshot
 	// Trace is the captured block trace (nil unless requested).
 	Trace *storage.Trace
 }
@@ -66,6 +84,12 @@ type runner struct {
 	rng      *rand.Rand
 	streamID uint64
 	prefetch int
+	opt      Options
+	// latency holds one histogram per object, fed by submit. When a
+	// metrics registry is configured the histograms live in it (and so
+	// appear in its Prometheus/JSON output); otherwise they are private
+	// to the run and only surface as result snapshots.
+	latency []*obs.Histogram
 }
 
 func newRunner(sys *System, l *layout.Layout, opt Options) (*runner, *storage.Trace, error) {
@@ -91,6 +115,16 @@ func newRunner(sys *System, l *layout.Layout, opt Options) (*runner, *storage.Tr
 	if err != nil {
 		return nil, nil, err
 	}
+	latency := make([]*obs.Histogram, len(sys.Objects))
+	for i, o := range sys.Objects {
+		if opt.Metrics != nil {
+			latency[i] = opt.Metrics.Histogram(
+				obs.Name("replay_object_latency_seconds", "object", o.Name),
+				obs.LatencyBuckets())
+		} else {
+			latency[i] = obs.NewHistogram(obs.LatencyBuckets())
+		}
+	}
 	return &runner{
 		sys:      sys,
 		eng:      eng,
@@ -99,7 +133,64 @@ func newRunner(sys *System, l *layout.Layout, opt Options) (*runner, *storage.Tr
 		objIdx:   sys.objectIndex(),
 		rng:      rand.New(rand.NewSource(opt.Seed + 1)),
 		prefetch: opt.PrefetchDepth,
+		opt:      opt,
+		latency:  latency,
 	}, tr, nil
+}
+
+// submit routes a request through the engine, recording its completion
+// latency in the object's histogram.
+func (r *runner) submit(dev storage.Device, req *storage.Request) {
+	if req.Object >= 0 && req.Object < len(r.latency) {
+		h := r.latency[req.Object]
+		inner := req.Done
+		req.Done = func(q *storage.Request) {
+			h.Observe(q.Completed() - q.Issued())
+			if inner != nil {
+				inner(q)
+			}
+		}
+	}
+	r.eng.Submit(dev, req)
+}
+
+// observe snapshots the run's instrumentation at the end of a replay: the
+// measured per-target utilizations, device counters, and per-object latency
+// histograms. When a metrics registry is configured the aggregates are also
+// published there, and a configured logger receives a summary record.
+func (r *runner) observe(elapsed float64) ([]float64, []storage.DeviceStats, []obs.HistogramSnapshot) {
+	utils := make([]float64, len(r.devices))
+	stats := make([]storage.DeviceStats, len(r.devices))
+	for j, d := range r.devices {
+		stats[j] = d.Stats()
+		utils[j] = stats[j].Utilization(elapsed)
+	}
+	lats := make([]obs.HistogramSnapshot, len(r.latency))
+	for i, h := range r.latency {
+		lats[i] = h.Snapshot()
+	}
+	if reg := r.opt.Metrics; reg != nil {
+		reg.Gauge("replay_elapsed_seconds").Set(elapsed)
+		reg.Counter("replay_requests_total").Add(r.eng.Submitted())
+		for j, d := range r.devices {
+			name, s := d.Name(), stats[j]
+			reg.Counter(obs.Name("replay_device_requests_total", "device", name)).Add(s.Requests)
+			reg.Counter(obs.Name("replay_device_read_bytes_total", "device", name)).Add(s.BytesRead)
+			reg.Counter(obs.Name("replay_device_written_bytes_total", "device", name)).Add(s.BytesWritten)
+			reg.Counter(obs.Name("replay_device_seq_hits_total", "device", name)).Add(s.SeqHits)
+			reg.Counter(obs.Name("replay_device_ra_evictions_total", "device", name)).Add(s.RAEvictions)
+			reg.Counter(obs.Name("replay_device_ra_collapses_total", "device", name)).Add(s.RACollapses)
+			reg.Gauge(obs.Name("replay_device_busy_seconds", "device", name)).Set(s.BusyTime)
+			reg.Gauge(obs.Name("replay_device_utilization", "device", name)).Set(utils[j])
+			reg.Gauge(obs.Name("replay_device_mean_queue_depth", "device", name)).Set(s.MeanQueueDepth(elapsed))
+			reg.Gauge(obs.Name("replay_device_max_queue_depth", "device", name)).Set(float64(s.MaxQueueDepth))
+		}
+	}
+	if lg := r.opt.Logger; lg != nil {
+		lg.Info("replay complete",
+			"elapsed", elapsed, "requests", r.eng.Submitted(), "targets", len(r.devices))
+	}
+	return utils, stats, lats
 }
 
 func (r *runner) nextStreamID() uint64 {
@@ -240,7 +331,7 @@ func (st *stream) fill() {
 				}
 			},
 		}
-		st.r.eng.Submit(dev, req)
+		st.r.submit(dev, req)
 	}
 	if st.exhausted && st.outstanding == 0 && st.onDone != nil {
 		done := st.onDone
@@ -344,8 +435,6 @@ func RunOLAP(sys *System, l *layout.Layout, w *benchdb.OLAPWorkload, opt Options
 		Requests: r.eng.Submitted(),
 		Trace:    tr,
 	}
-	for _, d := range r.devices {
-		res.Utilizations = append(res.Utilizations, d.Stats().Utilization(elapsed))
-	}
+	res.Utilizations, res.DeviceStats, res.ObjectLatency = r.observe(elapsed)
 	return res, nil
 }

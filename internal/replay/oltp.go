@@ -6,6 +6,7 @@ import (
 
 	"dblayout/internal/benchdb"
 	"dblayout/internal/layout"
+	"dblayout/internal/obs"
 	"dblayout/internal/storage"
 )
 
@@ -22,6 +23,12 @@ type OLTPResult struct {
 	Elapsed float64
 	// Utilizations are the measured per-target busy fractions.
 	Utilizations []float64
+	// DeviceStats are the per-target simulator counters at the end of
+	// the run (same order as the system's devices).
+	DeviceStats []storage.DeviceStats
+	// ObjectLatency holds one request-latency histogram snapshot per
+	// database object, in seconds (whole run, including warm-up).
+	ObjectLatency []obs.HistogramSnapshot
 }
 
 // oltpDriver runs terminals against a runner until stop() returns true.
@@ -138,7 +145,7 @@ func (d *oltpDriver) startTerminal(id int) {
 			if size > remain {
 				size = remain
 			}
-			d.r.eng.Submit(dev, &storage.Request{
+			d.r.submit(dev, &storage.Request{
 				Object: op.obj,
 				Stream: sid,
 				Offset: phys,
@@ -175,8 +182,10 @@ func (d *oltpDriver) buildOps(txn *benchdb.Transaction) []pageOp {
 	return ops
 }
 
-// result assembles the OLTP metrics for the measured window.
-func (d *oltpDriver) result(end float64, devices []storage.Device) *OLTPResult {
+// result assembles the OLTP metrics for the measured window. Utilizations
+// and instrumentation snapshots are filled in by the caller (they are shared
+// with the OLAP result in the consolidated scenario).
+func (d *oltpDriver) result(end float64) *OLTPResult {
 	window := end - d.warmup
 	res := &OLTPResult{
 		NewOrders: d.newOrders,
@@ -185,9 +194,6 @@ func (d *oltpDriver) result(end float64, devices []storage.Device) *OLTPResult {
 	}
 	if window > 0 {
 		res.TpmC = float64(d.newOrders) / (window / 60)
-	}
-	for _, dev := range devices {
-		res.Utilizations = append(res.Utilizations, dev.Stats().Utilization(end))
 	}
 	return res
 }
@@ -208,7 +214,9 @@ func RunOLTP(sys *System, l *layout.Layout, w *benchdb.OLTPWorkload, duration, w
 		d.startTerminal(t)
 	}
 	end := r.eng.Run(duration)
-	return d.result(end, r.devices), nil
+	res := d.result(end)
+	res.Utilizations, res.DeviceStats, res.ObjectLatency = r.observe(end)
+	return res, nil
 }
 
 // RunConsolidated replays the paper's consolidation scenario (Sec. 6.3): an
@@ -285,8 +293,12 @@ func RunConsolidated(sys *System, l *layout.Layout, olap *benchdb.OLAPWorkload, 
 		Requests: r.eng.Submitted(),
 		Trace:    tr,
 	}
-	for _, dev := range r.devices {
-		olapRes.Utilizations = append(olapRes.Utilizations, dev.Stats().Utilization(olapEnd))
-	}
-	return olapRes, d.result(olapEnd, r.devices), nil
+	// The two workloads share one storage system, so the instrumentation is
+	// observed (and published) exactly once and shared between the results.
+	oltpRes := d.result(olapEnd)
+	olapRes.Utilizations, olapRes.DeviceStats, olapRes.ObjectLatency = r.observe(olapEnd)
+	oltpRes.Utilizations = olapRes.Utilizations
+	oltpRes.DeviceStats = olapRes.DeviceStats
+	oltpRes.ObjectLatency = olapRes.ObjectLatency
+	return olapRes, oltpRes, nil
 }

@@ -18,11 +18,27 @@ type Device interface {
 
 // DeviceStats is a snapshot of a device's activity counters.
 type DeviceStats struct {
-	Requests   int64   // requests completed
-	Bytes      int64   // bytes transferred
-	BusyTime   float64 // seconds spent servicing requests
-	SeqHits    int64   // requests serviced via the sequential fast path
-	QueueDepth int     // requests currently waiting (excluding in service)
+	Requests     int64   // requests completed
+	Bytes        int64   // bytes transferred (reads + writes)
+	BytesRead    int64   // bytes read
+	BytesWritten int64   // bytes written
+	BusyTime     float64 // seconds spent servicing requests
+	SeqHits      int64   // requests serviced via the sequential fast path
+	// RAEvictions counts read-ahead cache segments recycled to admit a
+	// new stream: each one is a tracked sequential stream pushed off the
+	// drive's fast path by interleaving competitors.
+	RAEvictions int64
+	// RACollapses counts stream-continuing (contiguous) requests that
+	// nonetheless paid full positioning because their segment had been
+	// evicted — the per-request signature of the paper's Fig. 8
+	// interference collapse.
+	RACollapses int64
+	QueueDepth  int // requests currently waiting (excluding in service)
+	// MaxQueueDepth is the deepest the wait queue ever got.
+	MaxQueueDepth int
+	// DepthIntegral is the time integral of the wait-queue depth
+	// (request-seconds); divide by elapsed time for the mean depth.
+	DepthIntegral float64
 }
 
 // Utilization returns the fraction of the elapsed time the device was busy.
@@ -31,6 +47,15 @@ func (s DeviceStats) Utilization(elapsed float64) float64 {
 		return 0
 	}
 	return s.BusyTime / elapsed
+}
+
+// MeanQueueDepth returns the time-averaged wait-queue depth over the given
+// elapsed simulation time.
+func (s DeviceStats) MeanQueueDepth(elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return s.DepthIntegral / elapsed
 }
 
 // queueDevice implements the single-server queueing skeleton shared by the
@@ -42,10 +67,19 @@ type queueDevice struct {
 	name   string
 	cap    int64
 
-	queue   []*Request
-	busy    bool
-	stats   DeviceStats
-	service func(r *Request, queueDepth int) float64
+	queue     []*Request
+	busy      bool
+	stats     DeviceStats
+	depthMark float64 // last time the depth integral was advanced
+	service   func(r *Request, queueDepth int) float64
+}
+
+// noteDepth advances the queue-depth time integral up to now; call before
+// any change to the queue length.
+func (d *queueDevice) noteDepth() {
+	now := d.engine.Now()
+	d.stats.DepthIntegral += float64(len(d.queue)) * (now - d.depthMark)
+	d.depthMark = now
 }
 
 func (d *queueDevice) Name() string    { return d.name }
@@ -58,26 +92,39 @@ func (d *queueDevice) Stats() DeviceStats {
 }
 
 func (d *queueDevice) Submit(r *Request) {
+	d.noteDepth()
 	d.queue = append(d.queue, r)
 	if !d.busy {
 		d.dispatch()
+	}
+	// Measured after the idle-dispatch so it matches QueueDepth's
+	// "waiting, excluding in service" semantics.
+	if n := len(d.queue); n > d.stats.MaxQueueDepth {
+		d.stats.MaxQueueDepth = n
 	}
 }
 
 // dispatch starts service on the request at the head of the queue.
 func (d *queueDevice) dispatch() {
+	d.noteDepth()
 	r := d.queue[0]
 	d.queue = d.queue[1:]
 	d.busy = true
 	st := d.service(r, len(d.queue))
 	r.service = st
 	d.stats.BusyTime += st
+	d.engine.noteService(st)
 	d.engine.After(st, func() { d.finish(r) })
 }
 
 func (d *queueDevice) finish(r *Request) {
 	d.stats.Requests++
 	d.stats.Bytes += r.Size
+	if r.Write {
+		d.stats.BytesWritten += r.Size
+	} else {
+		d.stats.BytesRead += r.Size
+	}
 	r.complete = d.engine.Now()
 	d.busy = false
 	if len(d.queue) > 0 {

@@ -174,7 +174,9 @@ func (d *Disk) touchSegment(id uint64) bool {
 		n = 1
 	}
 	if len(d.segments) >= n {
+		// Recycling the LRU segment: its stream loses the fast path.
 		d.segments = d.segments[:n-1]
+		d.stats.RAEvictions++
 	}
 	d.segments = append([]uint64{id}, d.segments...)
 	return false
@@ -223,6 +225,9 @@ func (d *Disk) serviceTime(r *Request, queueDepth int) float64 {
 
 	// Random access, a brand-new stream, or a stream whose cache segment
 	// was recycled: full positioning.
+	if contiguous && !cached {
+		d.stats.RACollapses++
+	}
 	d.noteStream(r.Stream, r.Offset+r.Size, 0)
 	st := d.positioning(queueDepth) + transfer
 	if r.Write {

@@ -89,6 +89,7 @@ type Engine struct {
 	tracer    Tracer
 	devices   []Device
 	submitted int64
+	service   float64
 }
 
 // NewEngine returns a ready-to-run simulation engine at time zero.
@@ -144,6 +145,14 @@ func (e *Engine) Submit(d Device, r *Request) {
 
 // Submitted returns the total number of requests submitted via the engine.
 func (e *Engine) Submitted() int64 { return e.submitted }
+
+// noteService accumulates device service time as it is scheduled.
+func (e *Engine) noteService(st float64) { e.service += st }
+
+// ServiceTime returns the total device service time scheduled so far, summed
+// over all devices. By construction it equals the sum of the devices'
+// DeviceStats.BusyTime — the invariant the instrumentation tests pin.
+func (e *Engine) ServiceTime() float64 { return e.service }
 
 // Step executes the next pending event and returns false when the calendar
 // is empty.

@@ -55,19 +55,30 @@ func (g *RAID0) Capacity() int64 {
 	return min * int64(len(g.members))
 }
 
-// Stats aggregates member counters. BusyTime is the mean member busy time,
-// which makes Utilization comparable with single-device targets.
+// Stats aggregates member counters. BusyTime and DepthIntegral are per-member
+// means, which keeps Utilization and MeanQueueDepth comparable with
+// single-device targets; SeqHits, read-ahead counters and byte counts are
+// summed; MaxQueueDepth is the deepest any member got.
 func (g *RAID0) Stats() DeviceStats {
 	var s DeviceStats
 	s.Requests = g.stats.Requests
 	s.Bytes = g.stats.Bytes
+	s.BytesRead = g.stats.BytesRead
+	s.BytesWritten = g.stats.BytesWritten
 	for _, m := range g.members {
 		ms := m.Stats()
 		s.BusyTime += ms.BusyTime
 		s.SeqHits += ms.SeqHits
+		s.RAEvictions += ms.RAEvictions
+		s.RACollapses += ms.RACollapses
 		s.QueueDepth += ms.QueueDepth
+		s.DepthIntegral += ms.DepthIntegral
+		if ms.MaxQueueDepth > s.MaxQueueDepth {
+			s.MaxQueueDepth = ms.MaxQueueDepth
+		}
 	}
 	s.BusyTime /= float64(len(g.members))
+	s.DepthIntegral /= float64(len(g.members))
 	return s
 }
 
@@ -102,6 +113,11 @@ func (g *RAID0) Submit(r *Request) {
 		if pending == 0 {
 			g.stats.Requests++
 			g.stats.Bytes += r.Size
+			if r.Write {
+				g.stats.BytesWritten += r.Size
+			} else {
+				g.stats.BytesRead += r.Size
+			}
 			r.complete = g.engine.Now()
 			if r.Done != nil {
 				r.Done(r)

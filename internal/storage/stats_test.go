@@ -1,0 +1,151 @@
+package storage
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBusyTimeMatchesEngineServiceTime pins the accounting invariant: the
+// sum of every device's BusyTime equals the engine's accumulated service
+// time, and both equal the sum of per-request service times.
+func TestBusyTimeMatchesEngineServiceTime(t *testing.T) {
+	e := NewEngine()
+	disk := NewDisk(e, "d0", Disk15KConfig())
+	ssd := NewSSD(e, "s0", SSD32Config())
+
+	var perRequest float64
+	done := func(r *Request) { perRequest += r.ServiceTime() }
+	for i := 0; i < 64; i++ {
+		e.Submit(disk, &Request{Stream: uint64(i % 4), Offset: int64(i) * 1 << 20, Size: 8192, Done: done})
+		e.Submit(ssd, &Request{Stream: uint64(i % 4), Offset: int64(i) * 1 << 20, Size: 8192, Write: i%2 == 0, Done: done})
+	}
+	e.Run(0)
+
+	devTotal := disk.Stats().BusyTime + ssd.Stats().BusyTime
+	if math.Abs(devTotal-e.ServiceTime()) > 1e-12 {
+		t.Fatalf("device busy time %g != engine service time %g", devTotal, e.ServiceTime())
+	}
+	if math.Abs(perRequest-e.ServiceTime()) > 1e-12 {
+		t.Fatalf("per-request service sum %g != engine service time %g", perRequest, e.ServiceTime())
+	}
+	if e.ServiceTime() <= 0 {
+		t.Fatal("no service time accumulated")
+	}
+}
+
+func TestDeviceReadWriteByteSplit(t *testing.T) {
+	e := NewEngine()
+	ssd := NewSSD(e, "s0", SSD32Config())
+	e.Submit(ssd, &Request{Offset: 0, Size: 4096})
+	e.Submit(ssd, &Request{Offset: 8192, Size: 8192, Write: true})
+	e.Run(0)
+	s := ssd.Stats()
+	if s.BytesRead != 4096 || s.BytesWritten != 8192 || s.Bytes != 4096+8192 {
+		t.Fatalf("byte split wrong: %+v", s)
+	}
+}
+
+// TestQueueDepthAccounting submits a burst at time zero and checks the
+// max and time-averaged wait-queue depths.
+func TestQueueDepthAccounting(t *testing.T) {
+	e := NewEngine()
+	d := NewDisk(e, "d0", Disk15KConfig())
+	const n = 10
+	for i := 0; i < n; i++ {
+		e.Submit(d, &Request{Stream: uint64(i), Offset: int64(i) * 10 << 20, Size: 8192})
+	}
+	s := d.Stats()
+	// One request went straight into service; the rest wait.
+	if s.QueueDepth != n-1 || s.MaxQueueDepth != n-1 {
+		t.Fatalf("depth = %d, max = %d, want %d", s.QueueDepth, s.MaxQueueDepth, n-1)
+	}
+	end := e.Run(0)
+	s = d.Stats()
+	if s.QueueDepth != 0 {
+		t.Fatalf("queue not drained: %d", s.QueueDepth)
+	}
+	mean := s.MeanQueueDepth(end)
+	// The burst drains linearly from n-1 waiting to 0, so the mean depth
+	// over the run is about (n-1)/2; accept a generous band (service
+	// times vary with queue-depth-dependent scheduling gains).
+	if mean < 1 || mean > float64(n-1) {
+		t.Fatalf("mean queue depth %g outside (1, %d)", mean, n-1)
+	}
+	if s.DepthIntegral <= 0 {
+		t.Fatal("depth integral not accumulated")
+	}
+}
+
+// TestReadAheadEvictionAndCollapse drives more interleaved sequential
+// streams than the drive has read-ahead segments and checks the Fig. 8
+// collapse is visible in the counters.
+func TestReadAheadEvictionAndCollapse(t *testing.T) {
+	cfg := Disk15KConfig()
+	cfg.RASegments = 2
+	run := func(nStreams int) DeviceStats {
+		e := NewEngine()
+		d := NewDisk(e, "d0", cfg)
+		offs := make([]int64, nStreams)
+		for i := range offs {
+			offs[i] = int64(i) * 4 << 30 // far-apart zones
+		}
+		const reqSize = 64 << 10
+		var step func(round int)
+		step = func(round int) {
+			if round >= 64 {
+				return
+			}
+			pending := nStreams
+			for s := 0; s < nStreams; s++ {
+				s := s
+				e.Submit(d, &Request{Stream: uint64(s + 1), Offset: offs[s], Size: reqSize, Done: func(*Request) {
+					pending--
+					if pending == 0 {
+						step(round + 1)
+					}
+				}})
+				offs[s] += reqSize
+			}
+		}
+		step(0)
+		e.Run(0)
+		return d.Stats()
+	}
+
+	within := run(2) // at the segment budget: no evictions
+	if within.RAEvictions != 0 || within.RACollapses != 0 {
+		t.Fatalf("2 streams on 2 segments evicted: %+v", within)
+	}
+	if within.SeqHits == 0 {
+		t.Fatal("interleaved tracked streams got no sequential hits")
+	}
+	over := run(3) // one stream over budget: constant recycling
+	if over.RAEvictions == 0 {
+		t.Fatalf("3 streams on 2 segments never evicted: %+v", over)
+	}
+	if over.RACollapses == 0 {
+		t.Fatalf("no read-ahead collapses recorded: %+v", over)
+	}
+}
+
+func TestRAID0StatsByteSplitAndMeans(t *testing.T) {
+	e := NewEngine()
+	m0 := NewDisk(e, "g.m0", Disk15KConfig())
+	m1 := NewDisk(e, "g.m1", Disk15KConfig())
+	g := NewRAID0(e, "g", 64<<10, m0, m1)
+	// One request spanning both members, plus a read.
+	e.Submit(g, &Request{Stream: 1, Offset: 0, Size: 128 << 10, Write: true})
+	e.Submit(g, &Request{Stream: 2, Offset: 1 << 20, Size: 64 << 10})
+	e.Run(0)
+	s := g.Stats()
+	if s.Requests != 2 {
+		t.Fatalf("group requests = %d", s.Requests)
+	}
+	if s.BytesWritten != 128<<10 || s.BytesRead != 64<<10 {
+		t.Fatalf("group byte split: %+v", s)
+	}
+	memberBusy := (m0.Stats().BusyTime + m1.Stats().BusyTime) / 2
+	if math.Abs(s.BusyTime-memberBusy) > 1e-12 {
+		t.Fatalf("group busy %g != member mean %g", s.BusyTime, memberBusy)
+	}
+}
