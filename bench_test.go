@@ -8,6 +8,7 @@
 package dblayout_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -211,12 +212,14 @@ func BenchmarkAblation_Solver(b *testing.B) {
 		name string
 		run  func() nlp.Result
 	}{
-		{"transfer", func() nlp.Result { return nlp.TransferSearch(ev, inst, init, nlp.Options{Seed: 1}) }},
+		{"transfer", func() nlp.Result {
+			return nlp.TransferSearch(context.Background(), ev, inst, init, nlp.Options{Seed: 1})
+		}},
 		{"projected-gradient", func() nlp.Result {
-			return nlp.ProjectedGradient(ev, inst, init, nlp.Options{MaxIters: 60})
+			return nlp.ProjectedGradient(context.Background(), ev, inst, init, nlp.Options{MaxIters: 60})
 		}},
 		{"anneal", func() nlp.Result {
-			res, err := nlp.Anneal(ev, inst, init, nlp.AnnealOptions{Options: nlp.Options{Seed: 1, MaxIters: 4000}})
+			res, err := nlp.Anneal(context.Background(), ev, inst, init, nlp.AnnealOptions{Options: nlp.Options{Seed: 1, MaxIters: 4000}})
 			if err != nil {
 				panic(err)
 			}
@@ -249,7 +252,7 @@ func BenchmarkAblation_InitialLayout(b *testing.B) {
 		b.Run(tc.name, func(b *testing.B) {
 			var res nlp.Result
 			for i := 0; i < b.N; i++ {
-				res = nlp.TransferSearch(ev, inst, tc.init, nlp.Options{Seed: 1, Restarts: 0})
+				res = nlp.TransferSearch(context.Background(), ev, inst, tc.init, nlp.Options{Seed: 1, Restarts: 0})
 			}
 			b.ReportMetric(res.Objective, "objective")
 		})

@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	advisor -problem problem.json [-seed N] [-non-regular] [-utilizations]
-//	        [-v | -log-level L] [-trace-out solver.jsonl]
+//	advisor -problem problem.json [-seed N] [-budget 30s] [-non-regular]
+//	        [-utilizations] [-v | -log-level L] [-trace-out solver.jsonl]
 //	        [-metrics-out metrics.prom] [-cpuprofile f] [-memprofile f]
 //
 // The problem file describes objects, targets and per-object workloads:
@@ -28,14 +28,27 @@
 // A target's "model" is either a built-in device type ("disk15k",
 // "disk7200", "ssd"), which is calibrated on first use, or "@file.json", a
 // model previously saved by cmd/calibrate.
+//
+// Exit codes distinguish failure classes so scripts can react:
+//
+//	0  success (including degraded recommendations, reported on stderr)
+//	1  generic error (bad flags, unreadable input, ...)
+//	2  infeasible problem (data cannot fit the targets)
+//	3  solve budget exhausted before any usable layout was produced
+//	4  cost-model failure prevented a recommendation
+//	5  interrupted (SIGINT/SIGTERM before a layout was available)
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"dblayout"
@@ -111,6 +124,7 @@ func modelFor(ref string, cache map[string]*costmodel.Model) (*costmodel.Model, 
 func run() error {
 	problemPath := flag.String("problem", "", "problem description JSON (required)")
 	seed := flag.Int64("seed", 1, "solver random seed")
+	budget := flag.Duration("budget", 0, "solve time budget (0 = unlimited); on exhaustion the best layout found so far is reported")
 	nonRegular := flag.Bool("non-regular", false, "skip regularization (solver output may use uneven fractions)")
 	showUtils := flag.Bool("utilizations", false, "also print predicted per-target utilizations")
 	var cli obs.CLI
@@ -121,6 +135,15 @@ func run() error {
 		flag.Usage()
 		return fmt.Errorf("-problem is required")
 	}
+	// Catch SIGINT/SIGTERM from the start so a signal during model
+	// calibration still yields the documented exit code; after the first
+	// signal restore default disposition so a second one force-kills.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 	sess, err := cli.Start(os.Stderr)
 	if err != nil {
 		return err
@@ -158,6 +181,7 @@ func run() error {
 
 	opt := dblayout.Options{
 		Seed:               *seed,
+		SolveBudget:        *budget,
 		SkipRegularization: *nonRegular,
 		Logger:             sess.Logger,
 	}
@@ -165,10 +189,19 @@ func run() error {
 		opt.Trace = func(ev dblayout.TraceEvent) { sess.Trace.Write(ev) }
 	}
 	start := time.Now()
-	rec, err := dblayout.Recommend(p, opt)
+	rec, err := dblayout.RecommendContext(ctx, p, opt)
 	elapsed := time.Since(start)
 	if err != nil {
-		return err
+		if rec != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// Interrupted mid-solve with a usable layout in hand: report it,
+			// flagged degraded below, rather than throwing the work away.
+			fmt.Fprintln(os.Stderr, "advisor: interrupted, reporting best layout found so far")
+		} else {
+			return err
+		}
+	}
+	if rec.Degraded {
+		fmt.Fprintln(os.Stderr, "advisor: WARNING: recommendation is degraded:", rec.Degradation)
 	}
 	if reg := sess.Registry; reg != nil {
 		reg.Counter("solver_iters_total").Add(int64(rec.SolverIters))
@@ -214,9 +247,41 @@ func seeObjective(p dblayout.Problem) float64 {
 	return max
 }
 
+// exitCode maps failure classes to distinct exit codes (documented in the
+// package comment) so callers can distinguish "won't ever work" (infeasible)
+// from "needs more time" (budget) from "model is broken" (model failure).
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, dblayout.ErrInfeasible):
+		return 2
+	case errors.Is(err, dblayout.ErrBudgetExceeded):
+		return 3
+	case errors.Is(err, dblayout.ErrModelFailure):
+		return 4
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return 5
+	}
+	return 1
+}
+
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "advisor:", err)
-		os.Exit(1)
+		switch code := exitCode(err); code {
+		case 2:
+			fmt.Fprintln(os.Stderr, "advisor: infeasible problem:", err)
+			os.Exit(code)
+		case 3:
+			fmt.Fprintln(os.Stderr, "advisor: solve budget exhausted:", err)
+			os.Exit(code)
+		case 4:
+			fmt.Fprintln(os.Stderr, "advisor: cost model failure:", err)
+			os.Exit(code)
+		case 5:
+			fmt.Fprintln(os.Stderr, "advisor: interrupted:", err)
+			os.Exit(code)
+		default:
+			fmt.Fprintln(os.Stderr, "advisor:", err)
+			os.Exit(code)
+		}
 	}
 }

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig8|fig11|fig15|fig17|fig18|fig19|fig20] [-quick] [-seed N]
+//	experiments [-run all|fig8|fig11|fig15|fig17|fig18|fig19|fig20|ablation|degraded] [-quick] [-seed N]
 //	            [-v | -log-level L] [-trace-out solver.jsonl]
 //	            [-metrics-out metrics.prom] [-cpuprofile f] [-memprofile f]
 //
@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	which := flag.String("run", "all", "experiment to run: all, fig8, fig11, fig15, fig17, fig18, fig19, fig20, ablation")
+	which := flag.String("run", "all", "experiment to run: all, fig8, fig11, fig15, fig17, fig18, fig19, fig20, ablation, degraded")
 	quick := flag.Bool("quick", false, "reduced scale (coarse calibration, fewer queries)")
 	seed := flag.Int64("seed", 1, "replay and solver seed")
 	var cli obs.CLI
@@ -145,6 +145,16 @@ func main() {
 		}
 		fmt.Println("Ablation — advisor variants on OLAP1-63, four disks:")
 		fmt.Print(experiments.AblationTable(rows))
+		return nil
+	})
+
+	run("degraded", func() error {
+		res, err := experiments.Degraded(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Degraded-mode study — RAID5 reconstruction and failure-aware repair:")
+		fmt.Print(experiments.DegradedTable(res))
 		return nil
 	})
 

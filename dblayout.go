@@ -42,9 +42,11 @@
 package dblayout
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
+	"time"
 
 	"dblayout/internal/core"
 	"dblayout/internal/costmodel"
@@ -87,6 +89,27 @@ type (
 	// TrajPoint is one decimated point of a Recommendation's solver
 	// objective trajectory.
 	TrajPoint = nlp.TrajPoint
+	// Degradation is the structured reason attached to a degraded
+	// recommendation or repair.
+	Degradation = core.Degradation
+	// Repair is the output of RecommendRepair: a layout over the surviving
+	// targets plus the migration plan to reach it.
+	Repair = core.Repair
+)
+
+// Sentinel errors, matchable with errors.Is on anything Recommend,
+// RecommendContext, PlaceIncremental, or RecommendRepair returns — including
+// the Cause of a Degradation.
+var (
+	// ErrInfeasible reports a problem with no valid layout (capacity or
+	// constraints).
+	ErrInfeasible = core.ErrInfeasible
+	// ErrBudgetExceeded reports that Options.SolveBudget ran out; the
+	// recommendation carrying it as a degradation cause is still valid.
+	ErrBudgetExceeded = core.ErrBudgetExceeded
+	// ErrModelFailure reports that a cost model panicked or produced a
+	// non-finite or negative cost.
+	ErrModelFailure = core.ErrModelFailure
 )
 
 // Object kinds.
@@ -139,23 +162,46 @@ type Options struct {
 	// called synchronously on the solver goroutine and must be fast. Nil
 	// disables tracing with no overhead.
 	Trace func(TraceEvent)
+	// SolveBudget caps the wall-clock time spent in solver phases. When it
+	// runs out the advisor completes with its best layout so far and marks
+	// the recommendation Degraded (cause ErrBudgetExceeded) instead of
+	// failing. Zero means unbounded.
+	SolveBudget time.Duration
 }
 
-// Recommend runs the layout advisor on the problem and returns the
-// recommendation. The returned Recommendation's Final layout is regular
-// (unless SkipRegularization) and valid for the problem's capacities.
-func Recommend(p Problem, opts ...Options) (*Recommendation, error) {
-	var opt Options
-	if len(opts) > 0 {
-		opt = opts[0]
-	}
-	inst := &layout.Instance{
+// instance converts the problem into the internal representation.
+func (p Problem) instance() *layout.Instance {
+	return &layout.Instance{
 		Objects:     p.Objects,
 		Targets:     p.Targets,
 		Workloads:   p.Workloads,
 		StripeSize:  p.StripeSize,
 		Constraints: p.Constraints,
 	}
+}
+
+// Recommend runs the layout advisor on the problem and returns the
+// recommendation. The returned Recommendation's Final layout is regular
+// (unless SkipRegularization) and valid for the problem's capacities. It is
+// RecommendContext with a background context.
+func Recommend(p Problem, opts ...Options) (*Recommendation, error) {
+	return RecommendContext(context.Background(), p, opts...)
+}
+
+// RecommendContext runs the layout advisor under a context.
+//
+// An already-cancelled context returns (nil, ctx.Err()) without solving.
+// Cancellation mid-run stops the solvers within a few milliseconds and
+// returns the best valid layout found so far — marked Degraded — alongside
+// ctx.Err(). Budget exhaustion (Options.SolveBudget) and cost-model failures
+// degrade instead of failing whenever a valid layout can still be produced;
+// check Recommendation.Degraded and its Degradation for what happened.
+func RecommendContext(ctx context.Context, p Problem, opts ...Options) (*Recommendation, error) {
+	var opt Options
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
+	inst := p.instance()
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -163,37 +209,50 @@ func Recommend(p Problem, opts ...Options) (*Recommendation, error) {
 		SkipRegularization: opt.SkipRegularization,
 		NLP:                nlp.Options{Seed: opt.Seed, Trace: opt.Trace},
 		Logger:             opt.Logger,
+		SolveBudget:        opt.SolveBudget,
 	}
 	if !opt.DisableMultiStart {
-		heuristic, err := layout.InitialLayout(inst)
-		if err != nil {
-			return nil, err
-		}
-		copt.InitialLayouts = []*layout.Layout{heuristic}
-		// SEE is a useful second starting point but may violate
-		// administrative constraints; seed from it only when valid.
-		if see := layout.SEE(inst.N(), inst.M()); inst.ValidateLayout(see) == nil {
-			copt.InitialLayouts = append(copt.InitialLayouts, see)
+		// Seed from the heuristic initial layout plus SEE when both are
+		// available; when the heuristic fails, leave seeding to the
+		// advisor, whose ladder falls back to SEE by itself.
+		if heuristic, err := layout.InitialLayout(inst); err == nil {
+			copt.InitialLayouts = []*layout.Layout{heuristic}
+			// SEE is a useful second starting point but may violate
+			// administrative constraints; seed from it only when valid.
+			if see := layout.SEE(inst.N(), inst.M()); inst.ValidateLayout(see) == nil {
+				copt.InitialLayouts = append(copt.InitialLayouts, see)
+			}
 		}
 	}
 	adv, err := core.New(inst, copt)
 	if err != nil {
 		return nil, err
 	}
-	return adv.Recommend()
+	return adv.RecommendContext(ctx)
+}
+
+// RecommendRepair re-solves the layout after the listed targets fail: it
+// excludes them, pins every fraction residing on surviving targets, re-solves
+// over the displaced objects, and returns the repaired layout together with
+// the migration plan from `current`. See core.RecommendRepair for the full
+// degraded-mode contract.
+func RecommendRepair(ctx context.Context, p Problem, current *Layout, failed []int, opts ...Options) (*Repair, error) {
+	var opt Options
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
+	return core.RecommendRepair(ctx, p.instance(), current, failed, core.Options{
+		NLP:         nlp.Options{Seed: opt.Seed, Trace: opt.Trace},
+		Logger:      opt.Logger,
+		SolveBudget: opt.SolveBudget,
+	})
 }
 
 // Utilizations returns the advisor model's predicted per-target utilizations
 // of a layout for the problem — the quantity the recommendation minimizes
 // the maximum of.
 func Utilizations(p Problem, l *Layout) ([]float64, error) {
-	inst := &layout.Instance{
-		Objects:     p.Objects,
-		Targets:     p.Targets,
-		Workloads:   p.Workloads,
-		StripeSize:  p.StripeSize,
-		Constraints: p.Constraints,
-	}
+	inst := p.instance()
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -229,14 +288,14 @@ func PlanBytes(plan []Move) int64 { return layout.PlanBytes(plan) }
 // allocation mode sketched in the paper's conclusion. The instance must
 // describe all objects; rows of `current` for the new objects are ignored.
 func PlaceIncremental(p Problem, current *Layout, newObjects []int, seed int64) (*Layout, error) {
-	inst := &layout.Instance{
-		Objects:     p.Objects,
-		Targets:     p.Targets,
-		Workloads:   p.Workloads,
-		StripeSize:  p.StripeSize,
-		Constraints: p.Constraints,
-	}
-	return core.PlaceIncremental(inst, current, newObjects, nlp.Options{Seed: seed})
+	return PlaceIncrementalContext(context.Background(), p, current, newObjects, seed)
+}
+
+// PlaceIncrementalContext is PlaceIncremental under a context: an
+// already-cancelled context places nothing, and cancellation mid-optimization
+// returns ctx.Err().
+func PlaceIncrementalContext(ctx context.Context, p Problem, current *Layout, newObjects []int, seed int64) (*Layout, error) {
+	return core.PlaceIncrementalContext(ctx, p.instance(), current, newObjects, nlp.Options{Seed: seed})
 }
 
 // FitOptions tunes workload fitting from traces.

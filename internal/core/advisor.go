@@ -12,6 +12,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"time"
@@ -78,6 +80,13 @@ type Options struct {
 	// after regularization (an extension beyond the paper; see
 	// PolishRegular). Exposed for ablation.
 	SkipPolish bool
+	// SolveBudget caps the wall-clock time the advisor spends in solver
+	// phases, summed across every multi-start and solve/regularize round.
+	// When it runs out mid-solve, the solver stops at its next periodic
+	// check, remaining solves are skipped, and the advisor completes with
+	// the best layout found so far — marked Degraded with cause
+	// ErrBudgetExceeded. Zero means unbounded.
+	SolveBudget time.Duration
 	// Logger, when non-nil, receives a span per advisor phase
 	// (seed -> solve -> regularize -> validate) with durations and
 	// objective deltas. Nil disables logging entirely (zero overhead:
@@ -117,6 +126,15 @@ type Recommendation struct {
 	// Trajectory is the winning solver run's bounded objective-sample
 	// series, for convergence plots (see nlp.Result.Trajectory).
 	Trajectory []nlp.TrajPoint
+
+	// Degraded reports that the advisor could not run the full pipeline at
+	// full fidelity — a solve was truncated by the budget or a
+	// cancellation, or a phase failed and a fallback layout stands in. The
+	// recommendation is still a valid layout for the instance.
+	Degraded bool
+	// Degradation holds the structured reason when Degraded is set: the
+	// phase that fell short, the fallback used, and the classified cause.
+	Degradation *Degradation
 }
 
 // Advisor recommends optimized layouts for one problem instance.
@@ -150,39 +168,96 @@ func (a *Advisor) log(phase string, args ...interface{}) {
 }
 
 // Recommend runs the full pipeline of Fig. 4 and returns the recommendation.
+// It is RecommendContext with a background context.
 func (a *Advisor) Recommend() (*Recommendation, error) {
+	return a.RecommendContext(context.Background())
+}
+
+// RecommendContext runs the full pipeline of Fig. 4 under ctx.
+//
+// Cancellation is honoured promptly: the solvers poll the context every few
+// milliseconds. An already-cancelled context returns (nil, ctx.Err()) without
+// solving; a cancellation mid-run returns the best valid layout found so far
+// (marked Degraded) *alongside* ctx.Err(), so callers that can use a partial
+// answer have one and callers that cannot see the error.
+//
+// All other failures degrade rather than fail whenever a valid layout can
+// still be produced: when Options.SolveBudget runs out, remaining solver work
+// is skipped and the best layout so far is returned with a nil error and
+// Degraded set (cause ErrBudgetExceeded); when a cost model panics or
+// returns a non-finite cost, the advisor falls back to the heuristic initial
+// layout — and, if even constructing that fails, to SEE — with cause
+// ErrModelFailure. Hard errors (nil, err) are reserved for invalid inputs,
+// solver misconfiguration, and genuinely infeasible problems (ErrInfeasible).
+func (a *Advisor) RecommendContext(ctx context.Context) (*Recommendation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r := a.newRun(ctx)
+
 	inits := a.opt.InitialLayouts
 	var seedTime time.Duration
 	if len(inits) == 0 {
 		start := time.Now()
 		init, err := layout.InitialLayout(a.inst)
 		if err != nil {
-			return nil, fmt.Errorf("core: initial layout: %w", err)
+			// The greedy heuristic can fail on instances that are
+			// feasible but tight; SEE (spread everything everywhere)
+			// is the ladder's last rung when it happens to be valid.
+			see := layout.SEE(a.inst.N(), a.inst.M())
+			if a.inst.ValidateLayout(see) != nil {
+				return nil, fmt.Errorf("core: initial layout: %w", err)
+			}
+			r.note("seed", "see", err)
+			init = see
 		}
 		seedTime = time.Since(start)
-		a.log("seed", "duration", seedTime, "objective", a.ev.MaxUtilization(init))
+		if a.opt.Logger != nil {
+			obj, _ := a.safeObjective(init)
+			a.log("seed", "duration", seedTime, "objective", obj)
+		}
 		inits = []*layout.Layout{init}
 	} else if a.opt.Logger != nil {
 		// Explicit starting points (multi-start): report each one.
 		for k, init := range inits {
-			a.log("seed", "start", k, "provided", true,
-				"objective", a.ev.MaxUtilization(init))
+			obj, _ := a.safeObjective(init)
+			a.log("seed", "start", k, "provided", true, "objective", obj)
 		}
 	}
 
 	var best *Recommendation
+	var ctxErr error
 	for k, init := range inits {
 		if err := a.inst.ValidateLayout(init); err != nil {
 			return nil, fmt.Errorf("core: initial layout %d invalid: %w", k, err)
 		}
-		rec, err := a.recommendFrom(init, int64(k))
+		rec, err := a.recommendFrom(r, init, int64(k))
+		if rec != nil {
+			rec.InitialTime = seedTime
+			best = better(best, rec)
+		}
 		if err != nil {
+			if rec == nil || isContextErr(err) {
+				// Cancellation (or a hard error before any layout
+				// was produced): stop the multi-start immediately.
+				ctxErr = err
+				break
+			}
 			return nil, err
 		}
-		rec.InitialTime = seedTime
-		if best == nil || rec.FinalObjective < best.FinalObjective {
-			best = rec
+	}
+	if best == nil {
+		if ctxErr != nil {
+			return nil, ctxErr
 		}
+		return nil, fmt.Errorf("core: no recommendation produced")
+	}
+	if r.degr != nil {
+		best.Degraded = true
+		best.Degradation = r.degr
 	}
 
 	// Final validation: the recommendation must be a valid layout for the
@@ -194,10 +269,18 @@ func (a *Advisor) Recommend() (*Recommendation, error) {
 	a.log("validate", "duration", time.Since(start),
 		"objective", best.FinalObjective,
 		"delta", best.InitialObjective-best.FinalObjective)
-	return best, nil
+	return best, ctxErr
 }
 
-func (a *Advisor) recommendFrom(init *layout.Layout, seedShift int64) (*Recommendation, error) {
+// isContextErr reports whether err stems from context cancellation.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// recommendFrom runs the solve->regularize rounds from one starting layout.
+// A non-nil error is a cancellation (returned with the best-so-far
+// recommendation) or a hard configuration error (returned with a nil one).
+func (a *Advisor) recommendFrom(r *run, init *layout.Layout, seedShift int64) (*Recommendation, error) {
 	rounds := a.opt.Rounds
 	if rounds <= 0 {
 		rounds = 2
@@ -208,51 +291,44 @@ func (a *Advisor) recommendFrom(init *layout.Layout, seedShift int64) (*Recommen
 	var best *Recommendation
 	start := init
 	for round := 0; round < rounds; round++ {
-		rec, err := a.oneRound(start, seedShift+int64(round)*101)
+		rec, err := a.oneRound(r, start, seedShift+int64(round)*101)
+		best = better(best, rec)
 		if err != nil {
-			return nil, err
+			return best, err
 		}
-		if best == nil || rec.FinalObjective < best.FinalObjective {
-			best = rec
+		if rec == nil || rec.Final == nil || r.exhausted() {
+			break
 		}
 		start = rec.Final
 	}
 	return best, nil
 }
 
-func (a *Advisor) oneRound(init *layout.Layout, seedShift int64) (*Recommendation, error) {
-	rec := &Recommendation{
-		Initial:          init.Clone(),
-		InitialObjective: a.ev.MaxUtilization(init),
-	}
+// oneRound performs one solve(+regularize) pass. Cost-model failures and
+// budget truncation are absorbed into the recommendation (fallback layouts,
+// degradation notes on r); the returned error is either a context error —
+// accompanied by a best-so-far recommendation — or a hard configuration
+// error with a nil recommendation.
+func (a *Advisor) oneRound(r *run, init *layout.Layout, seedShift int64) (*Recommendation, error) {
+	rec := &Recommendation{Initial: init.Clone()}
+	rec.InitialObjective, _ = a.safeObjective(init)
 
 	start := time.Now()
-	var res nlp.Result
-	switch a.opt.Solver {
-	case SolverTransfer:
-		opt := a.opt.NLP
-		opt.Seed += seedShift
-		res = nlp.TransferSearch(a.ev, a.inst, init, opt)
-	case SolverProjectedGradient:
-		if a.inst.Constraints != nil {
-			return nil, fmt.Errorf("core: the projected-gradient solver does not support administrative constraints; use the transfer solver")
-		}
-		res = nlp.ProjectedGradient(a.ev, a.inst, init, a.opt.NLP)
-	case SolverAnneal:
-		opt := a.opt.Anneal
-		if opt.MaxIters == 0 {
-			opt.Options = a.opt.NLP
-		}
-		opt.Seed += seedShift
-		var err error
-		res, err = nlp.Anneal(a.ev, a.inst, init, opt)
-		if err != nil {
-			return nil, fmt.Errorf("core: anneal: %w", err)
-		}
-	default:
-		return nil, fmt.Errorf("core: unknown solver %v", a.opt.Solver)
-	}
+	res, err := a.safeSolve(r, init, seedShift)
 	rec.SolveTime = time.Since(start)
+	if err != nil {
+		if !errors.Is(err, ErrModelFailure) {
+			return nil, err // solver misconfiguration: a hard error
+		}
+		// The cost model failed inside the solver. The initial layout
+		// is valid (validated on entry), so it stands in for the
+		// solve's output — the ladder's "heuristic initial layout"
+		// rung.
+		r.note("solve", "initial", err)
+		rec.Final = init.Clone()
+		rec.FinalObjective = rec.InitialObjective
+		return rec, nil
+	}
 	rec.Solver = res.Layout
 	rec.SolverObjective = res.Objective
 	rec.SolverIters = res.Iters
@@ -263,6 +339,21 @@ func (a *Advisor) oneRound(init *layout.Layout, seedShift int64) (*Recommendatio
 		"delta", rec.InitialObjective-rec.SolverObjective,
 		"iters", res.Iters, "evals", res.Evals)
 
+	if res.Stop != nil {
+		if isContextErr(res.Stop) {
+			// Cancelled mid-solve: the solver's best-so-far layout
+			// is valid by construction; skip regularization and
+			// unwind with the context error.
+			r.note("solve", "best-so-far", res.Stop)
+			rec.Final = res.Layout
+			rec.FinalObjective = res.Objective
+			return rec, res.Stop
+		}
+		// Budget exhausted: keep the best-so-far layout and finish the
+		// round (regularization is cheap and restores implementability).
+		r.note("solve", "best-so-far", res.Stop)
+	}
+
 	if a.opt.SkipRegularization {
 		rec.Final = rec.Solver
 		rec.FinalObjective = rec.SolverObjective
@@ -270,9 +361,92 @@ func (a *Advisor) oneRound(init *layout.Layout, seedShift int64) (*Recommendatio
 	}
 
 	start = time.Now()
-	reg, err := Regularize(a.ev, a.inst, rec.Solver)
+	reg, err := a.safeRegularize(rec, res.Layout)
+	rec.RegularizeTime = time.Since(start)
 	if err != nil {
-		rec.RegularizeTime = time.Since(start)
+		// Regularization failed (or the model failed inside it). The
+		// solver layout may be non-regular, so fall back to the
+		// initial layout, which is both valid and as regular as the
+		// caller's starting point.
+		r.note("regularize", "initial", err)
+		rec.Final = init.Clone()
+		rec.FinalObjective = rec.InitialObjective
+		return rec, nil
+	}
+	rec.Final = reg
+	if rec.FinalObjective, err = a.safeObjective(reg); err != nil {
+		r.note("regularize", "initial", err)
+		rec.Final = init.Clone()
+		rec.FinalObjective = rec.InitialObjective
+		return rec, nil
+	}
+	a.log("regularize", "duration", rec.RegularizeTime, "polish", rec.PolishTime,
+		"objective", rec.FinalObjective,
+		"delta", rec.SolverObjective-rec.FinalObjective)
+	return rec, nil
+}
+
+// safeSolve dispatches to the configured solver with the remaining solve
+// budget, converting cost-model panics into ErrModelFailure-classified
+// errors. Solver misconfiguration (unknown solver, invalid annealing
+// schedule, unsupported constraints) comes back as ordinary errors.
+func (a *Advisor) safeSolve(r *run, init *layout.Layout, seedShift int64) (res nlp.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = layout.AsModelFailure(p)
+		}
+	}()
+	nopt := a.opt.NLP
+	nopt.Seed += seedShift
+	if !r.deadline.IsZero() {
+		left := time.Until(r.deadline)
+		if left <= 0 {
+			// Budget already gone: skip the solve entirely and hand
+			// back the starting layout as the "best so far".
+			obj, oerr := a.safeObjective(init)
+			if oerr != nil {
+				return nlp.Result{}, oerr
+			}
+			return nlp.Result{Layout: init.Clone(), Objective: obj, Stop: nlp.ErrBudgetExceeded}, nil
+		}
+		nopt.Budget = left
+	}
+	switch a.opt.Solver {
+	case SolverTransfer:
+		res = nlp.TransferSearch(r.ctx, a.ev, a.inst, init, nopt)
+	case SolverProjectedGradient:
+		if a.inst.Constraints != nil {
+			return res, fmt.Errorf("core: the projected-gradient solver does not support administrative constraints; use the transfer solver")
+		}
+		res = nlp.ProjectedGradient(r.ctx, a.ev, a.inst, init, nopt)
+	case SolverAnneal:
+		aopt := a.opt.Anneal
+		if aopt.MaxIters == 0 {
+			aopt.Options = nopt // seed shift and budget included
+		} else {
+			aopt.Seed += seedShift
+			aopt.Budget = nopt.Budget
+		}
+		res, err = nlp.Anneal(r.ctx, a.ev, a.inst, init, aopt)
+		if err != nil {
+			return res, fmt.Errorf("core: anneal: %w", err)
+		}
+	default:
+		return res, fmt.Errorf("core: unknown solver %v", a.opt.Solver)
+	}
+	return res, nil
+}
+
+// safeRegularize regularizes (and optionally polishes) the solver layout,
+// converting cost-model panics into ErrModelFailure-classified errors.
+func (a *Advisor) safeRegularize(rec *Recommendation, solved *layout.Layout) (reg *layout.Layout, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			reg, err = nil, layout.AsModelFailure(p)
+		}
+	}()
+	reg, err = Regularize(a.ev, a.inst, solved)
+	if err != nil {
 		return nil, fmt.Errorf("core: regularization: %w", err)
 	}
 	if !a.opt.SkipPolish {
@@ -280,11 +454,5 @@ func (a *Advisor) oneRound(init *layout.Layout, seedShift int64) (*Recommendatio
 		reg = PolishRegular(a.ev, a.inst, reg)
 		rec.PolishTime = time.Since(polishStart)
 	}
-	rec.RegularizeTime = time.Since(start)
-	rec.Final = reg
-	rec.FinalObjective = a.ev.MaxUtilization(reg)
-	a.log("regularize", "duration", rec.RegularizeTime, "polish", rec.PolishTime,
-		"objective", rec.FinalObjective,
-		"delta", rec.SolverObjective-rec.FinalObjective)
-	return rec, nil
+	return reg, nil
 }

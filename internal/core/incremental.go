@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"dblayout/internal/layout"
@@ -19,6 +20,30 @@ import (
 // and then locally optimizes only the new rows with the transfer search.
 // The result is regular if `current` is regular.
 func PlaceIncremental(inst *layout.Instance, current *layout.Layout, newObjects []int, opt nlp.Options) (*layout.Layout, error) {
+	return PlaceIncrementalContext(context.Background(), inst, current, newObjects, opt)
+}
+
+// PlaceIncrementalContext is PlaceIncremental under a context. An
+// already-cancelled context returns ctx.Err() without placing anything; a
+// cancellation mid-optimization returns (nil, ctx.Err()). When opt.Budget is
+// set and runs out, the local optimization stops early and the best-effort
+// placement found so far is returned with a nil error — the greedy seeding
+// already guarantees a valid layout. Cost-model panics and non-finite costs
+// surface as an error wrapping ErrModelFailure.
+func PlaceIncrementalContext(ctx context.Context, inst *layout.Instance, current *layout.Layout, newObjects []int, opt nlp.Options) (final *layout.Layout, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// The evaluator is the only black-box code on this path; a broken cost
+	// model must come back as a classified error, not a process panic.
+	defer func() {
+		if p := recover(); p != nil {
+			final, err = nil, layout.AsModelFailure(p)
+		}
+	}()
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -83,11 +108,14 @@ func PlaceIncremental(inst *layout.Instance, current *layout.Layout, newObjects 
 
 	// Local optimization over the new rows only.
 	opt.MovableObjects = newObjects
-	res := nlp.TransferSearch(ev, inst, l, opt)
+	res := nlp.TransferSearch(ctx, ev, inst, l, opt)
+	if isContextErr(res.Stop) {
+		return nil, res.Stop
+	}
 
 	// The transfer search may leave non-regular rows; restore regularity
 	// for the new objects if the base layout was regular.
-	final := res.Layout
+	final = res.Layout
 	if current.IsRegular() && !final.IsRegular() {
 		reg, err := Regularize(ev, inst, final)
 		if err != nil {

@@ -113,8 +113,8 @@ func InitialLayout(inst *Instance) (*Layout, error) {
 			}
 		}
 		if best < 0 {
-			return nil, fmt.Errorf("layout: no target can hold object %q (%d bytes)",
-				inst.Objects[i].Name, inst.Objects[i].Size)
+			return nil, fmt.Errorf("layout: no target can hold object %q (%d bytes): %w",
+				inst.Objects[i].Name, inst.Objects[i].Size, ErrInfeasible)
 		}
 		l.Set(i, best, 1)
 		assignedRate[best] += ws[i].TotalRate()

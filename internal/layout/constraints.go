@@ -104,7 +104,7 @@ func (c *Constraints) Validate(n, m int) error {
 			}
 		}
 		if !any {
-			return fmt.Errorf("layout: object %d has no permitted target", i)
+			return fmt.Errorf("layout: object %d has no permitted target: %w", i, ErrInfeasible)
 		}
 	}
 	for _, p := range c.Separate {

@@ -1,0 +1,50 @@
+package layout
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors classifying advisor failures. Callers match them with
+// errors.Is to branch on the outcome; the wrapping errors carry the detail.
+var (
+	// ErrInfeasible marks problems with no valid layout: the objects do not
+	// fit in the targets' aggregate capacity, or administrative constraints
+	// leave some object with no permitted target. A recommendation carrying
+	// this error comes with no layout at all.
+	ErrInfeasible = errors.New("problem infeasible")
+
+	// ErrModelFailure marks a black-box cost model that panicked or
+	// returned a non-finite or negative per-request cost. The advisor
+	// recovers by falling back to model-free layouts (the heuristic initial
+	// layout, then SEE); a recommendation degraded by this error still
+	// holds a capacity- and constraint-valid layout, but its predicted
+	// objectives are untrustworthy.
+	ErrModelFailure = errors.New("cost model failure")
+)
+
+// modelFailure is the panic value raised by the Evaluator when a cost model
+// misbehaves, and the error the advisor's recovery layer reports.
+type modelFailure struct {
+	target string
+	detail string
+}
+
+func (e *modelFailure) Error() string {
+	return fmt.Sprintf("layout: target %q: %s: %s", e.target, ErrModelFailure, e.detail)
+}
+
+func (e *modelFailure) Unwrap() error { return ErrModelFailure }
+
+// AsModelFailure converts a value recovered from a panic during layout
+// evaluation or solving into an ErrModelFailure-classified error. Model
+// misbehaviour detected by the Evaluator (non-finite or negative costs)
+// arrives pre-classified; any other panic in the solve path is attributed to
+// the only black-box code that runs there — the cost model — and wrapped the
+// same way, so a misbehaving model can never take the advisor down.
+func AsModelFailure(recovered interface{}) error {
+	if v, ok := recovered.(*modelFailure); ok {
+		return v
+	}
+	return fmt.Errorf("layout: %w: panic during evaluation: %v", ErrModelFailure, recovered)
+}

@@ -42,12 +42,27 @@ type Object struct {
 	Kind ObjectKind
 }
 
+// CostModel is the black-box per-request cost predictor a Target carries:
+// it returns the predicted device seconds one request of the given direction,
+// size (bytes), run count, and contention factor consumes (paper Eq. 1).
+//
+// *costmodel.Model — a calibrated interpolation table — is the standard
+// implementation; the interface admits externally supplied models. The
+// advisor treats implementations as untrusted: evaluations are guarded
+// against panics and non-finite results (see ErrModelFailure).
+type CostModel interface {
+	Cost(write bool, size, runCount, chi float64) float64
+}
+
+// The calibrated table model must satisfy the interface.
+var _ CostModel = (*costmodel.Model)(nil)
+
 // Target is a storage target: an independent container (device or RAID
 // group) with a capacity and a calibrated cost model.
 type Target struct {
 	Name     string
 	Capacity int64
-	Model    *costmodel.Model
+	Model    CostModel
 }
 
 // DefaultStripeSize is the LVM stripe size assumed by the layout model and
@@ -107,6 +122,9 @@ func (in *Instance) Validate() error {
 	if len(in.Targets) == 0 {
 		return fmt.Errorf("layout: instance with no targets")
 	}
+	if in.StripeSize < 0 {
+		return fmt.Errorf("layout: negative stripe size %d", in.StripeSize)
+	}
 	if in.Workloads == nil || in.Workloads.Len() != len(in.Objects) {
 		return fmt.Errorf("layout: instance with %d objects but %d workloads",
 			len(in.Objects), workloadLen(in.Workloads))
@@ -135,7 +153,7 @@ func (in *Instance) Validate() error {
 		cap += t.Capacity
 	}
 	if total > cap {
-		return fmt.Errorf("layout: objects need %d bytes but targets provide %d", total, cap)
+		return fmt.Errorf("layout: objects need %d bytes but targets provide %d: %w", total, cap, ErrInfeasible)
 	}
 	return in.Constraints.Validate(in.N(), in.M())
 }

@@ -1,6 +1,11 @@
 package layout
 
-import "dblayout/internal/rome"
+import (
+	"fmt"
+	"math"
+
+	"dblayout/internal/rome"
+)
 
 // Evaluator predicts storage target utilizations for candidate layouts using
 // the model structure of paper Fig. 6: the layout model (Fig. 7) transforms
@@ -131,12 +136,32 @@ func (ev *Evaluator) objectUtil(l *Layout, i, j int, rates []float64) float64 {
 	chi := ev.contention(i, rates, rates[i])
 	var mu float64
 	if rr := ev.readRate[i] * lij; rr > 0 {
-		mu += rr * model.Cost(false, ev.readSize[i], q, chi)
+		mu += rr * ev.cost(j, model, false, ev.readSize[i], q, chi)
 	}
 	if wr := ev.writeRate[i] * lij; wr > 0 {
-		mu += wr * model.Cost(true, ev.writeSize[i], q, chi)
+		mu += wr * ev.cost(j, model, true, ev.writeSize[i], q, chi)
 	}
 	return mu
+}
+
+// cost guards one black-box model evaluation: a NaN, infinite, or negative
+// per-request cost is a model defect that would silently corrupt every
+// utilization derived from it, so it raises a typed model-failure panic for
+// the advisor's recovery layer (see AsModelFailure) instead of propagating
+// garbage into the solver.
+func (ev *Evaluator) cost(j int, model CostModel, write bool, size, runCount, chi float64) float64 {
+	c := model.Cost(write, size, runCount, chi)
+	if math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+		dir := "read"
+		if write {
+			dir = "write"
+		}
+		panic(&modelFailure{
+			target: ev.inst.Targets[j].Name,
+			detail: fmt.Sprintf("%s cost(size=%g, run=%g, chi=%g) = %g", dir, size, runCount, chi, c),
+		})
+	}
+	return c
 }
 
 // TargetUtilization returns mu_j, the predicted utilization of target j

@@ -1,6 +1,7 @@
 package nlp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -53,13 +54,20 @@ func (o AnnealOptions) withDefaults() (AnnealOptions, error) {
 // deterministic default seed; the global math/rand state is never
 // consulted). An error is returned for out-of-range annealing schedules;
 // see AnnealOptions.
-func Anneal(ev Evaluator, inst *layout.Instance, init *layout.Layout, opt AnnealOptions) (Result, error) {
+//
+// The annealing loop honours ctx and Options.Budget, polling every few dozen
+// moves (annealing moves are two evaluations each, so per-move checks would
+// dominate); on cancellation or budget exhaustion it stops and returns the
+// best layout so far with Result.Stop set. A nil ctx is treated as
+// context.Background().
+func Anneal(ctx context.Context, ev Evaluator, inst *layout.Instance, init *layout.Layout, opt AnnealOptions) (Result, error) {
 	opt, err := opt.withDefaults()
 	if err != nil {
 		return Result{}, err
 	}
 	start := time.Now()
 	rng := rand.New(rand.NewSource(opt.Seed + 2))
+	lim := newLimiter(ctx, opt.Budget).every(64)
 
 	s := newTransferState(ev, inst, init.Clone())
 	res := Result{}
@@ -71,6 +79,9 @@ func Anneal(ev Evaluator, inst *layout.Instance, init *layout.Layout, opt Anneal
 
 	movable := opt.movableSet(s.l.N)
 	for iter := 0; iter < opt.MaxIters; iter++ {
+		if lim.stop() != nil {
+			break
+		}
 		m, ok := s.randomMove(rng, movable)
 		if !ok {
 			continue
@@ -95,6 +106,7 @@ func Anneal(ev Evaluator, inst *layout.Instance, init *layout.Layout, opt Anneal
 	res.Objective = bestObj
 	res.Evals = s.evals
 	res.Elapsed = time.Since(start)
+	res.Stop = lim.stopped
 	tk.finish(&res)
 	return res, nil
 }

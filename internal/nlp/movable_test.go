@@ -1,6 +1,7 @@
 package nlp
 
 import (
+	"context"
 	"testing"
 
 	"dblayout/internal/layout"
@@ -15,7 +16,7 @@ func TestTransferSearchMovableObjects(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Freeze everything except the index (object 2).
-	res := TransferSearch(ev, inst, init, Options{Seed: 1, MovableObjects: []int{2}})
+	res := TransferSearch(context.Background(), ev, inst, init, Options{Seed: 1, MovableObjects: []int{2}})
 	for _, i := range []int{0, 1, 3} {
 		for j := 0; j < 4; j++ {
 			if res.Layout.At(i, j) != init.At(i, j) {
@@ -27,7 +28,7 @@ func TestTransferSearchMovableObjects(t *testing.T) {
 		t.Fatal(err)
 	}
 	// An empty (non-nil) movable set freezes the whole layout.
-	res = TransferSearch(ev, inst, init, Options{Seed: 1, MovableObjects: []int{}, Restarts: 1})
+	res = TransferSearch(context.Background(), ev, inst, init, Options{Seed: 1, MovableObjects: []int{}, Restarts: 1})
 	for i := 0; i < 4; i++ {
 		for j := 0; j < 4; j++ {
 			if res.Layout.At(i, j) != init.At(i, j) {
@@ -41,7 +42,7 @@ func TestAnnealMovableObjects(t *testing.T) {
 	inst := layouttest.Instance(4)
 	ev := layout.NewEvaluator(inst)
 	init, _ := layout.InitialLayout(inst)
-	res, err := Anneal(ev, inst, init, AnnealOptions{Options: Options{Seed: 3, MaxIters: 2000, MovableObjects: []int{2, 3}}})
+	res, err := Anneal(context.Background(), ev, inst, init, AnnealOptions{Options: Options{Seed: 3, MaxIters: 2000, MovableObjects: []int{2, 3}}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package nlp
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -92,7 +93,7 @@ func TestTransferSearchImprovesOnInitial(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := ev.MaxUtilization(init)
-	res := TransferSearch(ev, inst, init, Options{Seed: 1})
+	res := TransferSearch(context.Background(), ev, inst, init, Options{Seed: 1})
 	solveCheck(t, inst, res, start)
 	if res.Objective > 0.9*start {
 		t.Fatalf("little improvement: %g -> %g", start, res.Objective)
@@ -109,7 +110,7 @@ func TestTransferSearchSeparatesHotTables(t *testing.T) {
 	inst := layouttest.Instance(4)
 	ev := layout.NewEvaluator(inst)
 	init, _ := layout.InitialLayout(inst)
-	res := TransferSearch(ev, inst, init, Options{Seed: 1})
+	res := TransferSearch(context.Background(), ev, inst, init, Options{Seed: 1})
 	l := res.Layout
 	// T1 and T2 overlap 0.9 and are both sequential: sharing a target
 	// would be costly. Verify they share no target with significant mass.
@@ -129,7 +130,7 @@ func TestTransferSearchRespectsCapacity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := TransferSearch(ev, inst, init, Options{Seed: 1})
+	res := TransferSearch(context.Background(), ev, inst, init, Options{Seed: 1})
 	solveCheck(t, inst, res, ev.MaxUtilization(init)+1)
 }
 
@@ -137,8 +138,8 @@ func TestTransferSearchDeterministic(t *testing.T) {
 	inst := layouttest.Instance(4)
 	ev := layout.NewEvaluator(inst)
 	init, _ := layout.InitialLayout(inst)
-	a := TransferSearch(ev, inst, init, Options{Seed: 7})
-	b := TransferSearch(ev, inst, init, Options{Seed: 7})
+	a := TransferSearch(context.Background(), ev, inst, init, Options{Seed: 7})
+	b := TransferSearch(context.Background(), ev, inst, init, Options{Seed: 7})
 	if a.Objective != b.Objective {
 		t.Fatalf("non-deterministic: %g vs %g", a.Objective, b.Objective)
 	}
@@ -152,7 +153,7 @@ func TestTransferSearchScales(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := ev.MaxUtilization(init)
-	res := TransferSearch(ev, inst, init, Options{Seed: 1, Restarts: 1})
+	res := TransferSearch(context.Background(), ev, inst, init, Options{Seed: 1, Restarts: 1})
 	solveCheck(t, inst, res, start)
 }
 
@@ -161,7 +162,7 @@ func TestProjectedGradientImproves(t *testing.T) {
 	ev := layout.NewEvaluator(inst)
 	init, _ := layout.InitialLayout(inst)
 	start := ev.MaxUtilization(init)
-	res := ProjectedGradient(ev, inst, init, Options{MaxIters: 60})
+	res := ProjectedGradient(context.Background(), ev, inst, init, Options{MaxIters: 60})
 	solveCheck(t, inst, res, start)
 	if res.Objective >= start {
 		t.Fatalf("no improvement: %g -> %g", start, res.Objective)
@@ -172,8 +173,8 @@ func TestProjectedGradientAgreesWithTransfer(t *testing.T) {
 	inst := layouttest.Instance(3)
 	ev := layout.NewEvaluator(inst)
 	init, _ := layout.InitialLayout(inst)
-	pg := ProjectedGradient(ev, inst, init, Options{MaxIters: 80})
-	ts := TransferSearch(ev, inst, init, Options{Seed: 1})
+	pg := ProjectedGradient(context.Background(), ev, inst, init, Options{MaxIters: 80})
+	ts := TransferSearch(context.Background(), ev, inst, init, Options{Seed: 1})
 	// Local optimizers on a non-convex problem: require rough agreement,
 	// not equality.
 	if pg.Objective > 2*ts.Objective && pg.Objective-ts.Objective > 0.05 {
@@ -186,7 +187,7 @@ func TestAnnealImproves(t *testing.T) {
 	ev := layout.NewEvaluator(inst)
 	init, _ := layout.InitialLayout(inst)
 	start := ev.MaxUtilization(init)
-	res, err := Anneal(ev, inst, init, AnnealOptions{Options: Options{Seed: 3, MaxIters: 4000}})
+	res, err := Anneal(context.Background(), ev, inst, init, AnnealOptions{Options: Options{Seed: 3, MaxIters: 4000}})
 	if err != nil {
 		t.Fatal(err)
 	}

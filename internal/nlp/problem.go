@@ -47,6 +47,11 @@ type Options struct {
 	// Restarts is the number of random perturbation rounds after the
 	// first descent converges; the best layout found is kept (default 3).
 	Restarts int
+	// Budget bounds the solver's wall-clock search time. When it elapses
+	// the solver stops at the next periodic check and returns its best
+	// layout so far with Result.Stop = ErrBudgetExceeded. Zero means
+	// unbounded.
+	Budget time.Duration
 	// Seed feeds the perturbation randomness. Zero means "deterministic
 	// default": every solver derives its generator from Seed alone (never
 	// from the global math/rand state or the clock), so two runs with the
@@ -106,6 +111,11 @@ type Result struct {
 
 	// Elapsed is the solver's wall-clock search time.
 	Elapsed time.Duration
+	// Stop classifies why the search ended: nil for normal convergence or
+	// iteration-budget exhaustion, ErrBudgetExceeded when Options.Budget
+	// ran out, or the context's error when the caller cancelled. In every
+	// case Layout holds the best valid layout found before stopping.
+	Stop error
 	// Trajectory samples the objective over the run at a bounded
 	// reservoir of iterations (at most maxTrajPoints entries, spread over
 	// the whole run), for convergence plots and regression triage.

@@ -1,6 +1,7 @@
 package nlp
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -13,9 +14,15 @@ import (
 // step and a capacity-repair pass. It evaluates O(N*M) target utilizations
 // per gradient, so it is intended for small and mid-size instances and as a
 // cross-check on TransferSearch.
-func ProjectedGradient(ev Evaluator, inst *layout.Instance, init *layout.Layout, opt Options) Result {
+//
+// The descent honours ctx and Options.Budget: it checks for cancellation or
+// budget exhaustion between gradient iterations and stops with the best
+// layout so far, classifying the reason in Result.Stop. A nil ctx is treated
+// as context.Background().
+func ProjectedGradient(ctx context.Context, ev Evaluator, inst *layout.Instance, init *layout.Layout, opt Options) Result {
 	opt = opt.withDefaults()
 	start := time.Now()
+	lim := newLimiter(ctx, opt.Budget)
 	l := init.Clone()
 	res := Result{}
 
@@ -29,6 +36,9 @@ func ProjectedGradient(ev Evaluator, inst *layout.Instance, init *layout.Layout,
 	const h = 1e-4
 
 	for iter := 0; iter < opt.MaxIters; iter++ {
+		if lim.stop() != nil {
+			break
+		}
 		// Softmax weights sharpen around the most utilized targets.
 		beta := 25.0
 		if cur > 0 {
@@ -49,6 +59,9 @@ func ProjectedGradient(ev Evaluator, inst *layout.Instance, init *layout.Layout,
 		// target j's utilization.
 		grad := make([]float64, l.N*l.M)
 		for j := 0; j < l.M; j++ {
+			if lim.stop() != nil {
+				break // abandon this gradient; the iteration check exits
+			}
 			if w[j] < 1e-6 {
 				continue // negligible contribution to the softmax
 			}
@@ -64,6 +77,9 @@ func ProjectedGradient(ev Evaluator, inst *layout.Instance, init *layout.Layout,
 
 		improved := false
 		for try := 0; try < 8; try++ {
+			if lim.stop() != nil {
+				break // abandon the line search; the iteration check exits
+			}
 			cand := l.Clone()
 			for i := 0; i < cand.N; i++ {
 				row := cand.Row(i)
@@ -104,6 +120,7 @@ func ProjectedGradient(ev Evaluator, inst *layout.Instance, init *layout.Layout,
 	res.Layout = l
 	res.Objective = cur
 	res.Elapsed = time.Since(start)
+	res.Stop = lim.stopped
 	tk.finish(&res)
 	return res
 }

@@ -1,6 +1,7 @@
 package nlp
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -42,7 +43,7 @@ func TestTransferSearchTrace(t *testing.T) {
 	init, _ := layout.InitialLayout(inst)
 
 	var events []TraceEvent
-	res := TransferSearch(ev, inst, init, Options{Seed: 1, Trace: func(e TraceEvent) {
+	res := TransferSearch(context.Background(), ev, inst, init, Options{Seed: 1, Trace: func(e TraceEvent) {
 		if e.Solver != "transfer" {
 			t.Fatalf("solver = %q", e.Solver)
 		}
@@ -67,7 +68,7 @@ func TestAnnealTrace(t *testing.T) {
 	init, _ := layout.InitialLayout(inst)
 
 	var events []TraceEvent
-	res, err := Anneal(ev, inst, init, AnnealOptions{Options: Options{Seed: 3, MaxIters: 3000,
+	res, err := Anneal(context.Background(), ev, inst, init, AnnealOptions{Options: Options{Seed: 3, MaxIters: 3000,
 		Trace: func(e TraceEvent) { events = append(events, e) }}})
 	if err != nil {
 		t.Fatal(err)
@@ -92,7 +93,7 @@ func TestProjectedGradientTrace(t *testing.T) {
 	init, _ := layout.InitialLayout(inst)
 
 	var events []TraceEvent
-	ProjectedGradient(ev, inst, init, Options{MaxIters: 40,
+	ProjectedGradient(context.Background(), ev, inst, init, Options{MaxIters: 40,
 		Trace: func(e TraceEvent) { events = append(events, e) }})
 	checkTrace(t, events)
 }
@@ -123,7 +124,7 @@ func TestResultTrajectoryRecorded(t *testing.T) {
 	inst := layouttest.Instance(4)
 	ev := layout.NewEvaluator(inst)
 	init, _ := layout.InitialLayout(inst)
-	res := TransferSearch(ev, inst, init, Options{Seed: 1})
+	res := TransferSearch(context.Background(), ev, inst, init, Options{Seed: 1})
 	if len(res.Trajectory) < 2 {
 		t.Fatalf("trajectory has %d points", len(res.Trajectory))
 	}
@@ -149,12 +150,12 @@ func TestAnnealOptionValidation(t *testing.T) {
 		{Cooling: 1.0},
 		{Cooling: 2.0},
 	} {
-		if _, err := Anneal(ev, inst, init, bad); err == nil {
+		if _, err := Anneal(context.Background(), ev, inst, init, bad); err == nil {
 			t.Fatalf("invalid schedule accepted: %+v", bad)
 		}
 	}
 	// Zero values still select the documented defaults.
-	if _, err := Anneal(ev, inst, init, AnnealOptions{Options: Options{MaxIters: 10}}); err != nil {
+	if _, err := Anneal(context.Background(), ev, inst, init, AnnealOptions{Options: Options{MaxIters: 10}}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -165,11 +166,11 @@ func TestAnnealSeedZeroDeterministic(t *testing.T) {
 	inst := layouttest.Instance(4)
 	ev := layout.NewEvaluator(inst)
 	init, _ := layout.InitialLayout(inst)
-	a, err := Anneal(ev, inst, init, AnnealOptions{Options: Options{MaxIters: 500}})
+	a, err := Anneal(context.Background(), ev, inst, init, AnnealOptions{Options: Options{MaxIters: 500}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Anneal(ev, inst, init, AnnealOptions{Options: Options{MaxIters: 500}})
+	b, err := Anneal(context.Background(), ev, inst, init, AnnealOptions{Options: Options{MaxIters: 500}})
 	if err != nil {
 		t.Fatal(err)
 	}

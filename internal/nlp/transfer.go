@@ -1,6 +1,7 @@
 package nlp
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -16,22 +17,28 @@ import (
 // mirroring the multi-start iteration of the paper's Fig. 4.
 //
 // The initial layout must be valid; the returned layout always is.
-func TransferSearch(ev Evaluator, inst *layout.Instance, init *layout.Layout, opt Options) Result {
+//
+// The search honours ctx and Options.Budget: between iterations it
+// periodically checks for cancellation or budget exhaustion and, when either
+// fires, stops and returns the best layout found so far with Result.Stop
+// classifying the reason. A nil ctx is treated as context.Background().
+func TransferSearch(ctx context.Context, ev Evaluator, inst *layout.Instance, init *layout.Layout, opt Options) Result {
 	opt = opt.withDefaults()
 	start := time.Now()
 	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	lim := newLimiter(ctx, opt.Budget)
 
 	s := newTransferState(ev, inst, init.Clone())
 	tk := newTracker("transfer", opt.Trace, s.objective())
 	res := Result{}
-	s.descend(&res, opt, tk, 0)
+	s.descend(&res, opt, tk, lim, 0)
 
 	best := s.l.Clone()
 	_, bestObj := maxOf(s.utils)
 
-	for r := 0; r < opt.Restarts; r++ {
+	for r := 0; r < opt.Restarts && lim.stop() == nil; r++ {
 		s.perturb(rng, opt)
-		s.descend(&res, opt, tk, r+1)
+		s.descend(&res, opt, tk, lim, r+1)
 		if _, obj := maxOf(s.utils); obj < bestObj {
 			bestObj = obj
 			best = s.l.Clone()
@@ -44,6 +51,7 @@ func TransferSearch(ev Evaluator, inst *layout.Instance, init *layout.Layout, op
 	res.Layout = best
 	res.Objective = bestObj
 	res.Elapsed = time.Since(start)
+	res.Stop = lim.stopped
 	tk.finish(&res)
 	return res
 }
@@ -175,13 +183,16 @@ func (s *transferState) fits(obj, to int, delta float64) bool {
 	return true
 }
 
-// descend performs greedy improvement until convergence or the iteration
-// budget is exhausted.
-func (s *transferState) descend(res *Result, opt Options, tk *tracker, restart int) {
+// descend performs greedy improvement until convergence, cancellation, or
+// exhaustion of the iteration budget.
+func (s *transferState) descend(res *Result, opt Options, tk *tracker, lim *limiter, restart int) {
 	stall := 0
 	for iter := 0; iter < opt.MaxIters; iter++ {
+		if lim.stop() != nil {
+			break
+		}
 		curMax, curSum := s.objectivePair()
-		best, ok := s.bestMove(curMax, curSum, opt)
+		best, ok := s.bestMove(curMax, curSum, opt, lim)
 		if !ok {
 			break
 		}
@@ -205,8 +216,11 @@ func (s *transferState) descend(res *Result, opt Options, tk *tracker, restart i
 
 // bestMove scans candidate transfers off the most utilized target and
 // returns the one with the lexicographically lowest resulting (max, sum)
-// objective, if it improves on the current one.
-func (s *transferState) bestMove(curMax, curSum float64, opt Options) (move, bool) {
+// objective, if it improves on the current one. The scan itself checks the
+// limiter between objects so that cancellation interrupts even a single
+// iteration on very large instances; an interrupted scan reports no move,
+// which makes the caller stop with the pre-iteration layout intact.
+func (s *transferState) bestMove(curMax, curSum float64, opt Options, lim *limiter) (move, bool) {
 	src, _ := maxOf(s.utils)
 	bestMax, bestSum := curMax, curSum
 	var best move
@@ -226,6 +240,9 @@ func (s *transferState) bestMove(curMax, curSum float64, opt Options) (move, boo
 
 	movable := opt.movableSet(s.l.N)
 	for i := 0; i < s.l.N; i++ {
+		if lim.stop() != nil {
+			return move{}, false
+		}
 		have := s.l.At(i, src)
 		if have <= layout.Epsilon || !movable(i) {
 			continue

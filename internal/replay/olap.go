@@ -180,6 +180,9 @@ func (r *runner) observe(elapsed float64) ([]float64, []storage.DeviceStats, []o
 			reg.Counter(obs.Name("replay_device_seq_hits_total", "device", name)).Add(s.SeqHits)
 			reg.Counter(obs.Name("replay_device_ra_evictions_total", "device", name)).Add(s.RAEvictions)
 			reg.Counter(obs.Name("replay_device_ra_collapses_total", "device", name)).Add(s.RACollapses)
+			reg.Counter(obs.Name("replay_device_failed_requests_total", "device", name)).Add(s.FailedRequests)
+			reg.Counter(obs.Name("replay_device_reconstruct_reads_total", "device", name)).Add(s.ReconstructReads)
+			reg.Gauge(obs.Name("replay_device_fault_delay_seconds", "device", name)).Set(s.FaultDelay)
 			reg.Gauge(obs.Name("replay_device_busy_seconds", "device", name)).Set(s.BusyTime)
 			reg.Gauge(obs.Name("replay_device_utilization", "device", name)).Set(utils[j])
 			reg.Gauge(obs.Name("replay_device_mean_queue_depth", "device", name)).Set(s.MeanQueueDepth(elapsed))

@@ -13,11 +13,18 @@ import (
 	"dblayout/internal/storage"
 )
 
-// RAIDSpec describes a RAID0 group target.
+// RAIDSpec describes a RAID group target.
 type RAIDSpec struct {
 	Members int
 	Member  storage.DiskConfig
 	Unit    int64 // stripe unit; 0 selects storage.DefaultStripeUnit
+	// Level selects the RAID level: 0 (striping, the paper's PERC setup)
+	// or 5 (rotating parity with degraded-mode reconstruction).
+	Level int
+	// MemberFaults optionally injects a fault schedule into individual
+	// members, keyed by member index. Use it to replay degraded-mode
+	// scenarios (a dead disk inside a healthy-looking group).
+	MemberFaults map[int]storage.FaultSchedule
 }
 
 // DeviceSpec declares one storage target of the system under test. Exactly
@@ -27,6 +34,11 @@ type DeviceSpec struct {
 	Disk *storage.DiskConfig
 	SSD  *storage.SSDConfig
 	RAID *RAIDSpec
+	// Faults optionally injects a deterministic fault schedule into the
+	// device (Disk and SSD targets; for RAID groups use
+	// RAIDSpec.MemberFaults — the group itself never fails, its members
+	// do).
+	Faults *storage.FaultSchedule
 }
 
 // Disk15K returns a single-15K-disk target spec, the paper's basic target.
@@ -50,6 +62,12 @@ func RAID0Disks(name string, n int) DeviceSpec {
 	return DeviceSpec{Name: name, RAID: &RAIDSpec{Members: n, Member: storage.Disk15KConfig()}}
 }
 
+// RAID5Disks returns a RAID5 group of n 15K disks (n >= 3), for the
+// degraded-mode experiments.
+func RAID5Disks(name string, n int) DeviceSpec {
+	return DeviceSpec{Name: name, RAID: &RAIDSpec{Members: n, Member: storage.Disk15KConfig(), Level: 5}}
+}
+
 // Validate checks the spec declares exactly one device type.
 func (s DeviceSpec) Validate() error {
 	n := 0
@@ -65,8 +83,36 @@ func (s DeviceSpec) Validate() error {
 	if n != 1 {
 		return fmt.Errorf("replay: device %q declares %d device types, want 1", s.Name, n)
 	}
-	if s.RAID != nil && s.RAID.Members <= 0 {
-		return fmt.Errorf("replay: device %q: RAID with %d members", s.Name, s.RAID.Members)
+	if r := s.RAID; r != nil {
+		if r.Members <= 0 {
+			return fmt.Errorf("replay: device %q: RAID with %d members", s.Name, r.Members)
+		}
+		switch r.Level {
+		case 0:
+			// striping, no redundancy
+		case 5:
+			if r.Members < 3 {
+				return fmt.Errorf("replay: device %q: RAID5 needs at least 3 members, got %d", s.Name, r.Members)
+			}
+		default:
+			return fmt.Errorf("replay: device %q: unsupported RAID level %d", s.Name, r.Level)
+		}
+		for i, f := range r.MemberFaults {
+			if i < 0 || i >= r.Members {
+				return fmt.Errorf("replay: device %q: fault schedule for member %d outside [0,%d)", s.Name, i, r.Members)
+			}
+			if err := f.Validate(); err != nil {
+				return fmt.Errorf("replay: device %q member %d: %w", s.Name, i, err)
+			}
+		}
+	}
+	if s.Faults != nil {
+		if s.RAID != nil {
+			return fmt.Errorf("replay: device %q: inject faults into RAID members, not the group", s.Name)
+		}
+		if err := s.Faults.Validate(); err != nil {
+			return fmt.Errorf("replay: device %q: %w", s.Name, err)
+		}
 	}
 	return nil
 }
@@ -79,7 +125,11 @@ func (s DeviceSpec) Capacity() int64 {
 	case s.SSD != nil:
 		return s.SSD.CapacityBytes
 	case s.RAID != nil:
-		return s.RAID.Member.CapacityBytes * int64(s.RAID.Members)
+		members := int64(s.RAID.Members)
+		if s.RAID.Level == 5 {
+			members-- // one member's worth of each stripe row is parity
+		}
+		return s.RAID.Member.CapacityBytes * members
 	}
 	return 0
 }
@@ -93,19 +143,29 @@ func (s DeviceSpec) ModelKey() string {
 	case s.SSD != nil:
 		return fmt.Sprintf("ssd-%.2fms-%.0fMBps", s.SSD.ReadLatency*1e3, s.SSD.ReadRate/(1<<20))
 	case s.RAID != nil:
-		return fmt.Sprintf("raid0x%d-%.0fms-%.0fMBps", s.RAID.Members,
+		return fmt.Sprintf("raid%dx%d-%.0fms-%.0fMBps", s.RAID.Level, s.RAID.Members,
 			s.RAID.Member.AvgSeek*1e3, s.RAID.Member.TransferRate/(1<<20))
 	}
 	return "invalid"
 }
 
-// Build instantiates the target on the engine.
+// Build instantiates the target on the engine, applying any fault schedules.
 func (s DeviceSpec) Build(e *storage.Engine) storage.Device {
+	inject := func(d storage.Device, f *storage.FaultSchedule) storage.Device {
+		if f != nil {
+			// Validate() vetted the schedule; a failure here is a spec
+			// that skipped validation.
+			if err := d.(storage.FaultInjector).InjectFaults(*f); err != nil {
+				panic(fmt.Sprintf("replay: device %q: %v", d.Name(), err))
+			}
+		}
+		return d
+	}
 	switch {
 	case s.Disk != nil:
-		return storage.NewDisk(e, s.Name, *s.Disk)
+		return inject(storage.NewDisk(e, s.Name, *s.Disk), s.Faults)
 	case s.SSD != nil:
-		return storage.NewSSD(e, s.Name, *s.SSD)
+		return inject(storage.NewSSD(e, s.Name, *s.SSD), s.Faults)
 	case s.RAID != nil:
 		unit := s.RAID.Unit
 		if unit <= 0 {
@@ -114,6 +174,12 @@ func (s DeviceSpec) Build(e *storage.Engine) storage.Device {
 		members := make([]storage.Device, s.RAID.Members)
 		for i := range members {
 			members[i] = storage.NewDisk(e, fmt.Sprintf("%s.m%d", s.Name, i), s.RAID.Member)
+			if f, ok := s.RAID.MemberFaults[i]; ok {
+				inject(members[i], &f)
+			}
+		}
+		if s.RAID.Level == 5 {
+			return storage.NewRAID5(e, s.Name, unit, members...)
 		}
 		return storage.NewRAID0(e, s.Name, unit, members...)
 	}

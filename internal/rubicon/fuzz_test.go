@@ -1,0 +1,42 @@
+package rubicon
+
+import (
+	"testing"
+
+	"dblayout/internal/storage"
+)
+
+// FuzzFitWorkloads drives the workload fitter with arbitrary trace records.
+// Whatever the trace looks like — hostile times, offsets, object indices —
+// the fitter must either report an error or produce a workload set that
+// passes rome's validation (finite, non-negative parameters), because that
+// set feeds straight into the advisor.
+func FuzzFitWorkloads(f *testing.F) {
+	f.Add(int64(0), int64(8192), 0.0, uint8(0), false)
+	f.Add(int64(4096), int64(131072), 1.5, uint8(1), true)
+	f.Add(int64(-1), int64(-5), -2.0, uint8(200), false)
+	f.Add(int64(1<<40), int64(1), 1e12, uint8(3), true)
+	f.Fuzz(func(t *testing.T, off, size int64, tm float64, obj uint8, write bool) {
+		names := []string{"A", "B", "C"}
+		tr := &storage.Trace{}
+		// A deterministic base pattern plus the fuzzed record, so the
+		// fitter sees both sane and hostile data in one trace.
+		for i := 0; i < 8; i++ {
+			tr.Records = append(tr.Records, storage.TraceRecord{
+				Time: float64(i) * 0.1, Object: i % 3, Stream: uint64(i),
+				Target: "d0", Offset: int64(i) * 8192, Size: 8192,
+			})
+		}
+		tr.Records = append(tr.Records, storage.TraceRecord{
+			Time: tm, Object: int(obj), Stream: 7, Target: "d0",
+			Offset: off, Size: size, Write: write,
+		})
+		set, err := FitSet(tr, names, Options{})
+		if err != nil {
+			return
+		}
+		if verr := set.Validate(); verr != nil {
+			t.Fatalf("fitted set fails validation: %v", verr)
+		}
+	})
+}

@@ -39,6 +39,17 @@ type DeviceStats struct {
 	// DepthIntegral is the time integral of the wait-queue depth
 	// (request-seconds); divide by elapsed time for the mean depth.
 	DepthIntegral float64
+
+	// FailedRequests counts requests that completed with Request.Failed
+	// set (the device had failed per its fault schedule). Failed requests
+	// are included in Requests but transfer no bytes.
+	FailedRequests int64
+	// FaultDelay is the extra service time (seconds) injected by stall and
+	// slow-disk faults; it is included in BusyTime.
+	FaultDelay float64
+	// ReconstructReads counts the extra member reads a degraded RAID group
+	// issued to rebuild data that resided on a failed member.
+	ReconstructReads int64
 }
 
 // Utilization returns the fraction of the elapsed time the device was busy.
@@ -72,6 +83,18 @@ type queueDevice struct {
 	stats     DeviceStats
 	depthMark float64 // last time the depth integral was advanced
 	service   func(r *Request, queueDepth int) float64
+	faults    *FaultSchedule
+}
+
+// InjectFaults installs a deterministic fault schedule on the device. Disk
+// and SSD inherit it; calling it again replaces the schedule. Requests
+// already in service are unaffected.
+func (d *queueDevice) InjectFaults(f FaultSchedule) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	d.faults = &f
+	return nil
 }
 
 // noteDepth advances the queue-depth time integral up to now; call before
@@ -104,13 +127,29 @@ func (d *queueDevice) Submit(r *Request) {
 	}
 }
 
-// dispatch starts service on the request at the head of the queue.
+// dispatch starts service on the request at the head of the queue, applying
+// the fault schedule: a failed device completes the request quickly with
+// Request.Failed set; stall and slow faults inflate the service time. Either
+// way the time counts as busy, preserving the engine's service-time
+// invariant.
 func (d *queueDevice) dispatch() {
 	d.noteDepth()
 	r := d.queue[0]
 	d.queue = d.queue[1:]
 	d.busy = true
-	st := d.service(r, len(d.queue))
+	now := d.engine.Now()
+	var st float64
+	if d.faults.failedAt(now) {
+		r.Failed = true
+		d.stats.FailedRequests++
+		st = failLatency
+	} else {
+		st = d.service(r, len(d.queue))
+		if penalized := d.faults.penalize(now, st); penalized != st {
+			d.stats.FaultDelay += penalized - st
+			st = penalized
+		}
+	}
 	r.service = st
 	d.stats.BusyTime += st
 	d.engine.noteService(st)
@@ -119,11 +158,13 @@ func (d *queueDevice) dispatch() {
 
 func (d *queueDevice) finish(r *Request) {
 	d.stats.Requests++
-	d.stats.Bytes += r.Size
-	if r.Write {
-		d.stats.BytesWritten += r.Size
-	} else {
-		d.stats.BytesRead += r.Size
+	if !r.Failed {
+		d.stats.Bytes += r.Size
+		if r.Write {
+			d.stats.BytesWritten += r.Size
+		} else {
+			d.stats.BytesRead += r.Size
+		}
 	}
 	r.complete = d.engine.Now()
 	d.busy = false

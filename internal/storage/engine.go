@@ -34,6 +34,10 @@ type Request struct {
 	Size   int64            // bytes
 	Write  bool             // false = read
 	Done   func(r *Request) // invoked at completion (may be nil)
+	// Failed reports that the request completed with an error instead of
+	// transferring data — the device (or, for RAID groups, enough of the
+	// members) had failed per its fault schedule by dispatch time.
+	Failed bool
 
 	issued   float64 // simulation time of submission
 	complete float64 // simulation time of completion

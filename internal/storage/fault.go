@@ -1,0 +1,94 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+)
+
+// failLatency is the time a failed device takes to complete a request with an
+// error (500 microseconds — a controller timeout/abort, not a full service).
+const failLatency = 500e-6
+
+// Stall is a transient fault window: every request dispatched during
+// [Start, Start+Duration) pays an extra Delay seconds of service time, the
+// signature of controller retries or internal cache flushes.
+type Stall struct {
+	Start    float64 `json:"start"`
+	Duration float64 `json:"duration"`
+	Delay    float64 `json:"delay"`
+}
+
+// SlowFault is sustained degradation: from time At onward every service time
+// is multiplied by Factor (>= 1) — a remapped-sector-ridden disk or a
+// throttled, overheating drive.
+type SlowFault struct {
+	At     float64 `json:"at"`
+	Factor float64 `json:"factor"`
+}
+
+// FailFault is a full device failure: from time At onward every request
+// completes quickly with Request.Failed set and no data transferred.
+type FailFault struct {
+	At float64 `json:"at"`
+}
+
+// FaultSchedule is a deterministic per-device fault plan in simulated time.
+// The zero value injects nothing. Schedules compose: a device may stall,
+// then slow down, then fail outright.
+type FaultSchedule struct {
+	Stalls []Stall    `json:"stalls,omitempty"`
+	Slow   *SlowFault `json:"slow,omitempty"`
+	Fail   *FailFault `json:"fail,omitempty"`
+}
+
+// Validate rejects non-finite or negative times, delays below zero, and slow
+// factors below 1.
+func (f *FaultSchedule) Validate() error {
+	if f == nil {
+		return nil
+	}
+	bad := func(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) || v < 0 }
+	for i, s := range f.Stalls {
+		if bad(s.Start) || bad(s.Duration) || bad(s.Delay) {
+			return fmt.Errorf("storage: stall %d has invalid start=%g duration=%g delay=%g", i, s.Start, s.Duration, s.Delay)
+		}
+	}
+	if f.Slow != nil {
+		if bad(f.Slow.At) || math.IsNaN(f.Slow.Factor) || f.Slow.Factor < 1 || math.IsInf(f.Slow.Factor, 0) {
+			return fmt.Errorf("storage: slow fault has invalid at=%g factor=%g (factor must be >= 1)", f.Slow.At, f.Slow.Factor)
+		}
+	}
+	if f.Fail != nil && bad(f.Fail.At) {
+		return fmt.Errorf("storage: fail fault has invalid at=%g", f.Fail.At)
+	}
+	return nil
+}
+
+// failedAt reports whether the device has failed by time now.
+func (f *FaultSchedule) failedAt(now float64) bool {
+	return f != nil && f.Fail != nil && now >= f.Fail.At
+}
+
+// penalize maps a base service time to the degraded service time at now.
+func (f *FaultSchedule) penalize(now, base float64) float64 {
+	if f == nil {
+		return base
+	}
+	st := base
+	if f.Slow != nil && now >= f.Slow.At {
+		st *= f.Slow.Factor
+	}
+	for _, s := range f.Stalls {
+		if now >= s.Start && now < s.Start+s.Duration {
+			st += s.Delay
+		}
+	}
+	return st
+}
+
+// FaultInjector is implemented by devices that accept a fault schedule. Disk
+// and SSD implement it; RAID groups do not — inject into their members
+// instead, which is what real controllers observe.
+type FaultInjector interface {
+	InjectFaults(f FaultSchedule) error
+}

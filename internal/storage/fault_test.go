@@ -1,0 +1,318 @@
+package storage
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFaultScheduleValidate(t *testing.T) {
+	bad := []FaultSchedule{
+		{Stalls: []Stall{{Start: -1, Duration: 1, Delay: 0.01}}},
+		{Stalls: []Stall{{Start: 0, Duration: math.NaN(), Delay: 0.01}}},
+		{Stalls: []Stall{{Start: 0, Duration: 1, Delay: math.Inf(1)}}},
+		{Slow: &SlowFault{At: 0, Factor: 0.5}},
+		{Slow: &SlowFault{At: math.NaN(), Factor: 2}},
+		{Slow: &SlowFault{At: 0, Factor: math.Inf(1)}},
+		{Fail: &FailFault{At: -3}},
+		{Fail: &FailFault{At: math.NaN()}},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("schedule %d accepted: %+v", i, f)
+		}
+	}
+	good := FaultSchedule{
+		Stalls: []Stall{{Start: 1, Duration: 2, Delay: 0.05}},
+		Slow:   &SlowFault{At: 5, Factor: 3},
+		Fail:   &FailFault{At: 100},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+	var zero *FaultSchedule
+	if err := zero.Validate(); err != nil {
+		t.Errorf("nil schedule rejected: %v", err)
+	}
+}
+
+func TestDiskFailFault(t *testing.T) {
+	e := NewEngine()
+	d := NewDisk(e, "d", Disk15KConfig())
+	if err := d.InjectFaults(FaultSchedule{Fail: &FailFault{At: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	var got *Request
+	r := &Request{Stream: 1, Offset: 0, Size: 8192, Done: func(r *Request) { got = r }}
+	e.Submit(d, r)
+	e.Run(0)
+	if got == nil {
+		t.Fatal("request never completed")
+	}
+	if !got.Failed {
+		t.Fatal("request on a failed device did not fail")
+	}
+	s := d.Stats()
+	if s.FailedRequests != 1 || s.Requests != 1 {
+		t.Fatalf("FailedRequests = %d, Requests = %d", s.FailedRequests, s.Requests)
+	}
+	if s.Bytes != 0 || s.BytesRead != 0 {
+		t.Fatalf("failed request transferred bytes: %+v", s)
+	}
+	if math.Abs(s.BusyTime-failLatency) > 1e-12 {
+		t.Fatalf("BusyTime = %g, want fail latency %g", s.BusyTime, failLatency)
+	}
+	// Fail-fast accounting must preserve the engine invariant.
+	if math.Abs(e.ServiceTime()-s.BusyTime) > 1e-12 {
+		t.Fatalf("engine service %g != device busy %g", e.ServiceTime(), s.BusyTime)
+	}
+}
+
+func TestDiskFailFaultOnset(t *testing.T) {
+	e := NewEngine()
+	d := NewDisk(e, "d", Disk15KConfig())
+	if err := d.InjectFaults(FaultSchedule{Fail: &FailFault{At: 1.0}}); err != nil {
+		t.Fatal(err)
+	}
+	var before, after *Request
+	e.Submit(d, &Request{Stream: 1, Size: 8192, Done: func(r *Request) { before = r }})
+	e.Run(0)
+	e.Schedule(2.0, func() {
+		e.Submit(d, &Request{Stream: 1, Offset: 8192, Size: 8192, Done: func(r *Request) { after = r }})
+	})
+	e.Run(0)
+	if before == nil || before.Failed {
+		t.Fatal("request before onset failed")
+	}
+	if after == nil || !after.Failed {
+		t.Fatal("request after onset succeeded")
+	}
+}
+
+func TestDiskSlowFault(t *testing.T) {
+	run := func(f *FaultSchedule) DeviceStats {
+		e := NewEngine()
+		d := NewDisk(e, "d", Disk15KConfig())
+		if f != nil {
+			if err := d.InjectFaults(*f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 16; i++ {
+			e.Submit(d, &Request{Stream: 1, Offset: int64(i) * 1 << 20, Size: 8192})
+		}
+		e.Run(0)
+		return d.Stats()
+	}
+	healthy := run(nil)
+	slowed := run(&FaultSchedule{Slow: &SlowFault{At: 0, Factor: 2}})
+	if slowed.FaultDelay <= 0 {
+		t.Fatal("slow fault injected no delay")
+	}
+	want := 2 * healthy.BusyTime
+	if math.Abs(slowed.BusyTime-want) > 1e-9*want {
+		t.Fatalf("slowed BusyTime = %g, want 2x healthy = %g", slowed.BusyTime, want)
+	}
+	if math.Abs(slowed.FaultDelay-healthy.BusyTime) > 1e-9*want {
+		t.Fatalf("FaultDelay = %g, want the extra %g", slowed.FaultDelay, healthy.BusyTime)
+	}
+}
+
+func TestDiskStallFault(t *testing.T) {
+	const delay = 0.25
+	run := func(f *FaultSchedule) DeviceStats {
+		e := NewEngine()
+		d := NewDisk(e, "d", Disk15KConfig())
+		if f != nil {
+			if err := d.InjectFaults(*f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.Submit(d, &Request{Stream: 1, Size: 8192})
+		e.Run(0)
+		return d.Stats()
+	}
+	healthy := run(nil)
+	// The request dispatches at t=0, inside the stall window.
+	stalled := run(&FaultSchedule{Stalls: []Stall{{Start: 0, Duration: 1, Delay: delay}}})
+	if math.Abs(stalled.BusyTime-(healthy.BusyTime+delay)) > 1e-9 {
+		t.Fatalf("stalled BusyTime = %g, want healthy %g + delay %g", stalled.BusyTime, healthy.BusyTime, delay)
+	}
+	if math.Abs(stalled.FaultDelay-delay) > 1e-9 {
+		t.Fatalf("FaultDelay = %g, want %g", stalled.FaultDelay, delay)
+	}
+	// A stall window entirely in the past injects nothing.
+	missed := run(&FaultSchedule{Stalls: []Stall{{Start: 10, Duration: 1, Delay: delay}}})
+	if missed.FaultDelay != 0 {
+		t.Fatalf("out-of-window stall injected %g", missed.FaultDelay)
+	}
+}
+
+func TestRAID0MemberFailurePropagates(t *testing.T) {
+	e := NewEngine()
+	m0 := NewDisk(e, "m0", Disk15KConfig())
+	m1 := NewDisk(e, "m1", Disk15KConfig())
+	if err := m0.InjectFaults(FaultSchedule{Fail: &FailFault{At: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	g := NewRAID0(e, "g", DefaultStripeUnit, m0, m1)
+	var onFailed, onHealthy *Request
+	// Unit 0 -> member 0 (failed), unit 1 -> member 1 (healthy).
+	e.Submit(g, &Request{Stream: 1, Offset: 0, Size: 4096, Done: func(r *Request) { onFailed = r }})
+	e.Submit(g, &Request{Stream: 2, Offset: DefaultStripeUnit, Size: 4096, Done: func(r *Request) { onHealthy = r }})
+	e.Run(0)
+	if onFailed == nil || !onFailed.Failed {
+		t.Fatal("striping over a failed member did not fail the logical request")
+	}
+	if onHealthy == nil || onHealthy.Failed {
+		t.Fatal("request on the healthy member failed")
+	}
+	if s := g.Stats(); s.FailedRequests != 1 {
+		t.Fatalf("group FailedRequests = %d, want 1", s.FailedRequests)
+	}
+}
+
+// degraded3 builds a 3-member RAID5 group with the given members failed from
+// the start. With 3 members, stripe row 0 has parity on member 0 and data
+// units 0 and 1 on members 1 and 2.
+func degraded3(t *testing.T, failed ...int) (*Engine, *RAID5) {
+	t.Helper()
+	e := NewEngine()
+	members := make([]Device, 3)
+	for i := range members {
+		d := NewDisk(e, "m", Disk15KConfig())
+		members[i] = d
+		for _, f := range failed {
+			if f == i {
+				if err := d.InjectFaults(FaultSchedule{Fail: &FailFault{At: 0}}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return e, NewRAID5(e, "g", DefaultStripeUnit, members...)
+}
+
+func TestRAID5HealthyRead(t *testing.T) {
+	e, g := degraded3(t)
+	var done *Request
+	e.Submit(g, &Request{Stream: 1, Offset: 0, Size: 4096, Done: func(r *Request) { done = r }})
+	e.Run(0)
+	if done == nil || done.Failed {
+		t.Fatal("healthy read failed")
+	}
+	s := g.Stats()
+	if s.ReconstructReads != 0 {
+		t.Fatalf("healthy read issued %d reconstruction reads", s.ReconstructReads)
+	}
+	if s.Requests != 1 || s.BytesRead != 4096 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestRAID5DegradedReadReconstructs(t *testing.T) {
+	// Member 1 holds data unit 0; fail it and read that unit.
+	e, g := degraded3(t, 1)
+	var done *Request
+	e.Submit(g, &Request{Stream: 1, Offset: 0, Size: 4096, Done: func(r *Request) { done = r }})
+	e.Run(0)
+	if done == nil {
+		t.Fatal("request never completed")
+	}
+	if done.Failed {
+		t.Fatal("single-member failure failed the read despite parity")
+	}
+	s := g.Stats()
+	if want := int64(2); s.ReconstructReads != want {
+		t.Fatalf("ReconstructReads = %d, want %d (both survivors)", s.ReconstructReads, want)
+	}
+	if s.FailedRequests != 0 {
+		t.Fatalf("logical request counted as failed: %+v", s)
+	}
+}
+
+func TestRAID5DoubleFailureFailsRead(t *testing.T) {
+	e, g := degraded3(t, 1, 2)
+	var done *Request
+	e.Submit(g, &Request{Stream: 1, Offset: 0, Size: 4096, Done: func(r *Request) { done = r }})
+	e.Run(0)
+	if done == nil || !done.Failed {
+		t.Fatal("read with two failed members did not fail")
+	}
+	if s := g.Stats(); s.FailedRequests != 1 {
+		t.Fatalf("FailedRequests = %d, want 1", s.FailedRequests)
+	}
+}
+
+func TestRAID5DegradedWrite(t *testing.T) {
+	// Data member 1 failed: the old-data read is replaced by reads of the
+	// row's other data units (1 extra read with 3 members), and the write
+	// survives through parity.
+	e, g := degraded3(t, 1)
+	var done *Request
+	e.Submit(g, &Request{Stream: 1, Offset: 0, Size: 4096, Write: true, Done: func(r *Request) { done = r }})
+	e.Run(0)
+	if done == nil || done.Failed {
+		t.Fatal("degraded write failed despite parity")
+	}
+	s := g.Stats()
+	if want := int64(1); s.ReconstructReads != want {
+		t.Fatalf("ReconstructReads = %d, want %d", s.ReconstructReads, want)
+	}
+	if s.BytesWritten != 4096 {
+		t.Fatalf("BytesWritten = %d", s.BytesWritten)
+	}
+}
+
+func TestRAID5Capacity(t *testing.T) {
+	e := NewEngine()
+	cfg := Disk15KConfig()
+	g := NewRAID5(e, "g", DefaultStripeUnit,
+		NewDisk(e, "m0", cfg), NewDisk(e, "m1", cfg), NewDisk(e, "m2", cfg))
+	if want := 2 * cfg.CapacityBytes; g.Capacity() != want {
+		t.Fatalf("capacity = %d, want %d (one member's worth is parity)", g.Capacity(), want)
+	}
+}
+
+func TestRAID5SpansUnits(t *testing.T) {
+	// A request spanning two units touches two data members; both succeed.
+	e, g := degraded3(t)
+	var done *Request
+	e.Submit(g, &Request{Stream: 1, Offset: DefaultStripeUnit - 2048, Size: 4096, Done: func(r *Request) { done = r }})
+	e.Run(0)
+	if done == nil || done.Failed {
+		t.Fatal("unit-spanning read failed")
+	}
+	if s := g.Stats(); s.BytesRead != 4096 {
+		t.Fatalf("BytesRead = %d, want 4096", s.BytesRead)
+	}
+}
+
+func TestReadTraceReportsLineNumbers(t *testing.T) {
+	cases := []struct {
+		name, input, wantLine string
+	}{
+		{"malformed json", "{\"t\":0,\"size\":4096}\nnot json\n", "line 2"},
+		{"invalid size", "{\"t\":0,\"size\":4096}\n\n{\"t\":1,\"size\":-1}\n", "line 3"},
+		{"negative time", "{\"t\":-1,\"size\":4096}\n", "line 1"},
+		{"negative offset", "{\"t\":0,\"off\":-5,\"size\":4096}\n", "line 1"},
+	}
+	for _, tc := range cases {
+		_, err := ReadTrace(strings.NewReader(tc.input))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantLine) {
+			t.Errorf("%s: error %q does not name %s", tc.name, err, tc.wantLine)
+		}
+	}
+	// Blank lines are skipped, not counted as errors.
+	tr, err := ReadTrace(strings.NewReader("\n{\"t\":0,\"size\":4096}\n\n{\"t\":1,\"size\":8192}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("parsed %d records, want 2", tr.Len())
+	}
+}

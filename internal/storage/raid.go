@@ -65,9 +65,11 @@ func (g *RAID0) Stats() DeviceStats {
 	s.Bytes = g.stats.Bytes
 	s.BytesRead = g.stats.BytesRead
 	s.BytesWritten = g.stats.BytesWritten
+	s.FailedRequests = g.stats.FailedRequests
 	for _, m := range g.members {
 		ms := m.Stats()
 		s.BusyTime += ms.BusyTime
+		s.FaultDelay += ms.FaultDelay
 		s.SeqHits += ms.SeqHits
 		s.RAEvictions += ms.RAEvictions
 		s.RACollapses += ms.RACollapses
@@ -78,6 +80,7 @@ func (g *RAID0) Stats() DeviceStats {
 		}
 	}
 	s.BusyTime /= float64(len(g.members))
+	s.FaultDelay /= float64(len(g.members))
 	s.DepthIntegral /= float64(len(g.members))
 	return s
 }
@@ -109,14 +112,23 @@ func (g *RAID0) Submit(r *Request) {
 	perMember := 1 / float64(n)
 	done := func(c *Request) {
 		r.service += c.service * perMember
+		if c.Failed {
+			// RAID0 has no redundancy: one failed child fails the
+			// whole logical request.
+			r.Failed = true
+		}
 		pending--
 		if pending == 0 {
 			g.stats.Requests++
-			g.stats.Bytes += r.Size
-			if r.Write {
-				g.stats.BytesWritten += r.Size
+			if r.Failed {
+				g.stats.FailedRequests++
 			} else {
-				g.stats.BytesRead += r.Size
+				g.stats.Bytes += r.Size
+				if r.Write {
+					g.stats.BytesWritten += r.Size
+				} else {
+					g.stats.BytesRead += r.Size
+				}
 			}
 			r.complete = g.engine.Now()
 			if r.Done != nil {

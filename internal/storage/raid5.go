@@ -1,0 +1,332 @@
+package storage
+
+import "fmt"
+
+// RAID5 is a rotating-parity group of member devices presented as a single
+// storage target. It extends the simulator beyond the paper's RAID0 testbed
+// so that degraded-mode behaviour — the scenario the fault-tolerant advisor
+// repairs — can be replayed:
+//
+//   - Logical stripe units are distributed round-robin over the n-1 data
+//     positions of each stripe row; the parity unit rotates across members.
+//   - Writes pay the small-write penalty: read old data and old parity,
+//     write new data and new parity (modelled as four concurrent member
+//     requests per touched unit).
+//   - When a member has failed (per its FaultSchedule), reads of its units
+//     are reconstructed by reading the same stripe row from every surviving
+//     member; the extra reads are counted in DeviceStats.ReconstructReads.
+//     Writes survive a single failed member through parity alone.
+//
+// Reconstruction is driven by observed child-request failures rather than by
+// inspecting members' fault schedules, so any member device — disk, SSD, or
+// a custom implementation — participates correctly. A logical request fails
+// only when redundancy is exhausted (two or more members failed).
+type RAID5 struct {
+	engine  *Engine
+	name    string
+	members []Device
+	unit    int64
+	stats   DeviceStats
+}
+
+// NewRAID5 builds a rotating-parity group over the given members. The stripe
+// unit must be positive; at least three members are required.
+func NewRAID5(e *Engine, name string, unit int64, members ...Device) *RAID5 {
+	if len(members) < 3 {
+		panic("storage: RAID5 needs at least 3 members")
+	}
+	if unit <= 0 {
+		panic("storage: RAID5 with non-positive stripe unit")
+	}
+	g := &RAID5{engine: e, name: name, members: members, unit: unit}
+	e.register(g)
+	return g
+}
+
+// Name identifies the group.
+func (g *RAID5) Name() string { return g.name }
+
+// Members returns the member devices.
+func (g *RAID5) Members() []Device { return g.members }
+
+// Capacity is the smallest member capacity times the data-member count (one
+// member's worth of every stripe row holds parity).
+func (g *RAID5) Capacity() int64 {
+	min := g.members[0].Capacity()
+	for _, m := range g.members[1:] {
+		if c := m.Capacity(); c < min {
+			min = c
+		}
+	}
+	return min * int64(len(g.members)-1)
+}
+
+// Stats aggregates member counters the same way RAID0 does: BusyTime,
+// FaultDelay and DepthIntegral are per-member means, byte and read-ahead
+// counters are summed. Requests, FailedRequests and ReconstructReads are
+// group-level: logical requests, logical failures, and extra member reads
+// issued for degraded-mode reconstruction.
+func (g *RAID5) Stats() DeviceStats {
+	s := DeviceStats{
+		Requests:         g.stats.Requests,
+		Bytes:            g.stats.Bytes,
+		BytesRead:        g.stats.BytesRead,
+		BytesWritten:     g.stats.BytesWritten,
+		FailedRequests:   g.stats.FailedRequests,
+		ReconstructReads: g.stats.ReconstructReads,
+	}
+	for _, m := range g.members {
+		ms := m.Stats()
+		s.BusyTime += ms.BusyTime
+		s.FaultDelay += ms.FaultDelay
+		s.SeqHits += ms.SeqHits
+		s.RAEvictions += ms.RAEvictions
+		s.RACollapses += ms.RACollapses
+		s.QueueDepth += ms.QueueDepth
+		s.DepthIntegral += ms.DepthIntegral
+		if ms.MaxQueueDepth > s.MaxQueueDepth {
+			s.MaxQueueDepth = ms.MaxQueueDepth
+		}
+	}
+	s.BusyTime /= float64(len(g.members))
+	s.FaultDelay /= float64(len(g.members))
+	s.DepthIntegral /= float64(len(g.members))
+	return s
+}
+
+// r5join tracks the completion of all member requests spawned by one logical
+// request, including reconstruction reads issued after a child fails. The
+// simulator is single-threaded, so plain counters suffice; children cannot
+// complete before Submit returns because their completions are future events.
+type r5join struct {
+	g       *RAID5
+	r       *Request
+	pending int
+	failed  bool
+}
+
+// childDone folds one member completion into the join and finishes the
+// logical request when the last child completes.
+func (j *r5join) childDone(c *Request) {
+	j.r.service += c.service / float64(len(j.g.members))
+	j.pending--
+	if j.pending > 0 {
+		return
+	}
+	g := j.g
+	r := j.r
+	g.stats.Requests++
+	if j.failed {
+		r.Failed = true
+		g.stats.FailedRequests++
+	} else {
+		g.stats.Bytes += r.Size
+		if r.Write {
+			g.stats.BytesWritten += r.Size
+		} else {
+			g.stats.BytesRead += r.Size
+		}
+	}
+	r.complete = g.engine.Now()
+	if r.Done != nil {
+		r.Done(r)
+	}
+}
+
+// geometry of one logical chunk: the stripe row, the data member holding it,
+// the parity member of the row, and the member-local byte range.
+type r5loc struct {
+	row          int64
+	dataMember   int
+	parityMember int
+	memberOff    int64
+	size         int64
+}
+
+// locate maps a unit-bounded logical byte range to its stripe location.
+func (g *RAID5) locate(off, size int64) r5loc {
+	n := int64(len(g.members))
+	u := off / g.unit
+	row := u / (n - 1)
+	pos := int(u % (n - 1))
+	parity := int(row % n)
+	member := pos
+	if member >= parity {
+		member++
+	}
+	return r5loc{
+		row:          row,
+		dataMember:   member,
+		parityMember: parity,
+		memberOff:    row*g.unit + off%g.unit,
+		size:         size,
+	}
+}
+
+// Submit decomposes the logical request into per-unit member requests and
+// completes it when every member request — including any reconstruction
+// reads — has completed.
+func (g *RAID5) Submit(r *Request) {
+	r.issued = g.engine.Now()
+	if r.Size <= 0 {
+		panic(fmt.Sprintf("storage: RAID5 %q: non-positive request size %d", g.name, r.Size))
+	}
+
+	var locs []r5loc
+	for off, left := r.Offset, r.Size; left > 0; {
+		inUnit := g.unit - off%g.unit
+		if inUnit > left {
+			inUnit = left
+		}
+		locs = append(locs, g.locate(off, inUnit))
+		off += inUnit
+		left -= inUnit
+	}
+
+	j := &r5join{g: g, r: r}
+	if r.Write {
+		j.pending = 4 * len(locs)
+	} else {
+		j.pending = len(locs)
+	}
+	for _, loc := range locs {
+		if r.Write {
+			g.submitWrite(j, loc)
+		} else {
+			g.submitRead(j, loc)
+		}
+	}
+}
+
+// submitRead issues the data-unit read; if the member has failed, the failure
+// triggers reconstruction from the surviving members.
+func (g *RAID5) submitRead(j *r5join, loc r5loc) {
+	child := &Request{
+		Object: j.r.Object,
+		Stream: j.r.Stream,
+		Offset: loc.memberOff,
+		Size:   loc.size,
+		Done: func(c *Request) {
+			if c.Failed {
+				g.reconstruct(j, loc)
+			}
+			j.childDone(c)
+		},
+	}
+	child.issued = g.engine.Now()
+	g.members[loc.dataMember].Submit(child)
+}
+
+// reconstruct reads the stripe row from every surviving member to rebuild the
+// unit that resided on the failed data member. A failed reconstruction read
+// means a second member is down, which exhausts the redundancy and fails the
+// logical request.
+func (g *RAID5) reconstruct(j *r5join, loc r5loc) {
+	n := len(g.members)
+	j.pending += n - 1
+	g.stats.ReconstructReads += int64(n - 1)
+	for m := 0; m < n; m++ {
+		if m == loc.dataMember {
+			continue
+		}
+		child := &Request{
+			Object: j.r.Object,
+			Stream: j.r.Stream,
+			Offset: loc.memberOff,
+			Size:   loc.size,
+			Done: func(c *Request) {
+				if c.Failed {
+					j.failed = true
+				}
+				j.childDone(c)
+			},
+		}
+		child.issued = g.engine.Now()
+		g.members[m].Submit(child)
+	}
+}
+
+// submitWrite issues the small-write sequence for one unit: read old data,
+// read old parity, write new data, write new parity. The four member
+// requests run concurrently — the queueing model cares about load, not the
+// strict read-modify-write ordering. Degraded cases:
+//
+//   - old-data read fails: the new parity must instead be computed from the
+//     other data units of the row, so the surviving data members are read
+//     (counted as reconstruction reads);
+//   - data write fails but the parity write succeeds (or vice versa): the
+//     stripe still encodes the data, the logical write succeeds;
+//   - both the data and parity writes fail: redundancy is exhausted and the
+//     logical request fails.
+func (g *RAID5) submitWrite(j *r5join, loc r5loc) {
+	var dataFailed, parityFailed bool
+	check := func() {
+		if dataFailed && parityFailed {
+			j.failed = true
+		}
+	}
+	submit := func(member int, write bool, done func(c *Request)) {
+		child := &Request{
+			Object: j.r.Object,
+			Stream: j.r.Stream,
+			Offset: loc.memberOff,
+			Size:   loc.size,
+			Write:  write,
+			Done:   done,
+		}
+		child.issued = g.engine.Now()
+		g.members[member].Submit(child)
+	}
+	// Read old data; on failure, read the row's other data units instead.
+	submit(loc.dataMember, false, func(c *Request) {
+		if c.Failed {
+			g.reconstructForWrite(j, loc)
+		}
+		j.childDone(c)
+	})
+	// Read old parity; a failed parity member costs nothing extra.
+	submit(loc.parityMember, false, func(c *Request) {
+		j.childDone(c)
+	})
+	// Write new data.
+	submit(loc.dataMember, true, func(c *Request) {
+		if c.Failed {
+			dataFailed = true
+			check()
+		}
+		j.childDone(c)
+	})
+	// Write new parity.
+	submit(loc.parityMember, true, func(c *Request) {
+		if c.Failed {
+			parityFailed = true
+			check()
+		}
+		j.childDone(c)
+	})
+}
+
+// reconstructForWrite reads the stripe row's other data units (everything but
+// the failed data member and the parity member) so parity can be recomputed
+// without the old data.
+func (g *RAID5) reconstructForWrite(j *r5join, loc r5loc) {
+	n := len(g.members)
+	j.pending += n - 2
+	g.stats.ReconstructReads += int64(n - 2)
+	for m := 0; m < n; m++ {
+		if m == loc.dataMember || m == loc.parityMember {
+			continue
+		}
+		child := &Request{
+			Object: j.r.Object,
+			Stream: j.r.Stream,
+			Offset: loc.memberOff,
+			Size:   loc.size,
+			Done: func(c *Request) {
+				j.childDone(c)
+			},
+		}
+		child.issued = g.engine.Now()
+		g.members[m].Submit(child)
+	}
+}

@@ -2,9 +2,11 @@ package storage
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 )
 
 // TraceRecord describes one block I/O request as captured at submission,
@@ -71,20 +73,49 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	return n, nil
 }
 
-// ReadTrace parses a JSON-lines trace produced by WriteTo.
+// Validate rejects records no simulation could have produced: non-finite or
+// negative times, negative offsets, and non-positive sizes. Replaying such a
+// record would corrupt device state (or panic deep inside a RAID group), so
+// they are refused at the parsing boundary instead.
+func (rec *TraceRecord) Validate() error {
+	switch {
+	case math.IsNaN(rec.Time) || math.IsInf(rec.Time, 0) || rec.Time < 0:
+		return fmt.Errorf("storage: invalid time %g", rec.Time)
+	case rec.Offset < 0:
+		return fmt.Errorf("storage: negative offset %d", rec.Offset)
+	case rec.Size <= 0:
+		return fmt.Errorf("storage: non-positive size %d", rec.Size)
+	}
+	return nil
+}
+
+// ReadTrace parses a JSON-lines trace produced by WriteTo. Blank lines are
+// skipped; a malformed or invalid record is reported with its 1-based line
+// number so multi-gigabyte trace files can be repaired without bisection.
 func ReadTrace(r io.Reader) (*Trace, error) {
 	t := &Trace{}
-	dec := json.NewDecoder(bufio.NewReader(r))
-	for i := 0; ; i++ {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
 		var rec TraceRecord
-		if err := dec.Decode(&rec); err != nil {
-			if err == io.EOF {
-				return t, nil
-			}
-			return nil, fmt.Errorf("storage: decoding trace record %d: %w", i, err)
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("storage: trace line %d: %w", line, err)
+		}
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("storage: trace line %d: %w", line, err)
 		}
 		t.Records = append(t.Records, rec)
 	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("storage: trace line %d: %w", line+1, err)
+	}
+	return t, nil
 }
 
 // multiTracer fans records out to several tracers.
