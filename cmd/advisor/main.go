@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	advisor -problem problem.json [-seed N] [-budget 30s] [-non-regular]
-//	        [-utilizations] [-v | -log-level L] [-trace-out solver.jsonl]
-//	        [-metrics-out metrics.prom] [-cpuprofile f] [-memprofile f]
+//	advisor -problem problem.json [-seed N] [-budget 30s] [-workers N]
+//	        [-portfolio] [-non-regular] [-utilizations] [-v | -log-level L]
+//	        [-trace-out solver.jsonl] [-metrics-out metrics.prom]
+//	        [-cpuprofile f] [-memprofile f]
 //
 // The problem file describes objects, targets and per-object workloads:
 //
@@ -125,6 +126,8 @@ func run() error {
 	problemPath := flag.String("problem", "", "problem description JSON (required)")
 	seed := flag.Int64("seed", 1, "solver random seed")
 	budget := flag.Duration("budget", 0, "solve time budget (0 = unlimited); on exhaustion the best layout found so far is reported")
+	workers := flag.Int("workers", 0, "solver restart parallelism (0 = auto, 1 = serial); the layout is identical at any worker count")
+	portfolio := flag.Bool("portfolio", false, "race the transfer, anneal and projected-gradient solvers concurrently and keep the best layout")
 	nonRegular := flag.Bool("non-regular", false, "skip regularization (solver output may use uneven fractions)")
 	showUtils := flag.Bool("utilizations", false, "also print predicted per-target utilizations")
 	var cli obs.CLI
@@ -182,6 +185,8 @@ func run() error {
 	opt := dblayout.Options{
 		Seed:               *seed,
 		SolveBudget:        *budget,
+		Workers:            *workers,
+		Portfolio:          *portfolio,
 		SkipRegularization: *nonRegular,
 		Logger:             sess.Logger,
 	}
@@ -208,6 +213,8 @@ func run() error {
 		reg.Counter("solver_evals_total").Add(int64(rec.SolverEvals))
 		reg.Gauge("advisor_final_objective").Set(rec.FinalObjective)
 		reg.Gauge("advisor_solver_objective").Set(rec.SolverObjective)
+		reg.Gauge("solver_restarts").Set(float64(rec.SolverRestarts))
+		reg.Gauge("solver_workers").Set(float64(rec.SolverWorkers))
 		reg.Gauge("advisor_solve_seconds").Set(rec.SolveTime.Seconds())
 		reg.Gauge("advisor_regularize_seconds").Set(rec.RegularizeTime.Seconds())
 		reg.Gauge("advisor_elapsed_seconds").Set(elapsed.Seconds())

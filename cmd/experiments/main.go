@@ -30,6 +30,7 @@ func main() {
 	which := flag.String("run", "all", "experiment to run: all, fig8, fig11, fig15, fig17, fig18, fig19, fig20, ablation, degraded")
 	quick := flag.Bool("quick", false, "reduced scale (coarse calibration, fewer queries)")
 	seed := flag.Int64("seed", 1, "replay and solver seed")
+	workers := flag.Int("workers", 0, "solver restart parallelism (0 = auto, 1 = serial); results are identical at any worker count")
 	var cli obs.CLI
 	cli.Register(flag.CommandLine)
 	flag.Parse()
@@ -50,6 +51,7 @@ func main() {
 		cfg = experiments.NewQuickConfig()
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	cfg.Logger = sess.Logger
 	cfg.Metrics = sess.Registry
 	if sess.Trace != nil {

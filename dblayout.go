@@ -159,9 +159,24 @@ type Options struct {
 	// disables logging with no overhead.
 	Logger *slog.Logger
 	// Trace, when non-nil, observes every solver iteration. The hook is
-	// called synchronously on the solver goroutine and must be fast. Nil
-	// disables tracing with no overhead.
+	// never called concurrently and must be fast. Nil disables tracing
+	// with no overhead. Under parallel solving (see Workers) the delivered
+	// stream is merged in deterministic restart order, so it is identical
+	// at every worker count.
 	Trace func(TraceEvent)
+	// Workers bounds how many solver restarts run concurrently. Zero
+	// selects min(restarts+1, GOMAXPROCS); 1 forces a fully serial solve.
+	// The recommended layout is bit-identical for a given Seed at any
+	// worker count — parallelism changes wall-clock time, never the
+	// result — except when SolveBudget or a cancellation truncates the
+	// search.
+	Workers int
+	// Portfolio races the transfer, anneal and (when the problem has no
+	// administrative constraints) projected-gradient solvers concurrently
+	// from each starting layout and keeps the best result, instead of
+	// running the transfer solver alone. Ties break toward the fixed
+	// solver order, so the outcome is still deterministic.
+	Portfolio bool
 	// SolveBudget caps the wall-clock time spent in solver phases. When it
 	// runs out the advisor completes with its best layout so far and marks
 	// the recommendation Degraded (cause ErrBudgetExceeded) instead of
@@ -207,9 +222,12 @@ func RecommendContext(ctx context.Context, p Problem, opts ...Options) (*Recomme
 	}
 	copt := core.Options{
 		SkipRegularization: opt.SkipRegularization,
-		NLP:                nlp.Options{Seed: opt.Seed, Trace: opt.Trace},
+		NLP:                nlp.Options{Seed: opt.Seed, Trace: opt.Trace, Workers: opt.Workers},
 		Logger:             opt.Logger,
 		SolveBudget:        opt.SolveBudget,
+	}
+	if opt.Portfolio {
+		copt.Solver = core.SolverPortfolio
 	}
 	if !opt.DisableMultiStart {
 		// Seed from the heuristic initial layout plus SEE when both are
@@ -242,7 +260,7 @@ func RecommendRepair(ctx context.Context, p Problem, current *Layout, failed []i
 		opt = opts[0]
 	}
 	return core.RecommendRepair(ctx, p.instance(), current, failed, core.Options{
-		NLP:         nlp.Options{Seed: opt.Seed, Trace: opt.Trace},
+		NLP:         nlp.Options{Seed: opt.Seed, Trace: opt.Trace, Workers: opt.Workers},
 		Logger:      opt.Logger,
 		SolveBudget: opt.SolveBudget,
 	})

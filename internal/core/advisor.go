@@ -35,6 +35,12 @@ const (
 	SolverProjectedGradient
 	// SolverAnneal is simulated annealing over transfer moves.
 	SolverAnneal
+	// SolverPortfolio races the transfer, anneal and (when the instance
+	// has no administrative constraints) projected-gradient solvers
+	// concurrently from the same initial layout and keeps the best
+	// result. Ties on the objective break toward the earlier solver in
+	// that fixed order, so the outcome is deterministic.
+	SolverPortfolio
 )
 
 // String names the solver.
@@ -46,6 +52,8 @@ func (s Solver) String() string {
 		return "projected-gradient"
 	case SolverAnneal:
 		return "anneal"
+	case SolverPortfolio:
+		return "portfolio"
 	}
 	return fmt.Sprintf("solver(%d)", int(s))
 }
@@ -123,6 +131,9 @@ type Recommendation struct {
 	PolishTime time.Duration
 	// SolverIters and SolverEvals report solver effort.
 	SolverIters, SolverEvals int
+	// SolverRestarts counts the multi-start restart rounds the winning
+	// solve performed; SolverWorkers is the worker-pool width it used.
+	SolverRestarts, SolverWorkers int
 	// Trajectory is the winning solver run's bounded objective-sample
 	// series, for convergence plots (see nlp.Result.Trajectory).
 	Trajectory []nlp.TrajPoint
@@ -234,7 +245,7 @@ func (a *Advisor) RecommendContext(ctx context.Context) (*Recommendation, error)
 		if err := a.inst.ValidateLayout(init); err != nil {
 			return nil, fmt.Errorf("core: initial layout %d invalid: %w", k, err)
 		}
-		rec, err := a.recommendFrom(r, init, int64(k))
+		rec, err := a.recommendFrom(r, init, k)
 		if rec != nil {
 			rec.InitialTime = seedTime
 			best = better(best, rec)
@@ -277,10 +288,11 @@ func isContextErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// recommendFrom runs the solve->regularize rounds from one starting layout.
-// A non-nil error is a cancellation (returned with the best-so-far
-// recommendation) or a hard configuration error (returned with a nil one).
-func (a *Advisor) recommendFrom(r *run, init *layout.Layout, seedShift int64) (*Recommendation, error) {
+// recommendFrom runs the solve->regularize rounds from starting layout
+// number `startIdx`. A non-nil error is a cancellation (returned with the
+// best-so-far recommendation) or a hard configuration error (returned with a
+// nil one).
+func (a *Advisor) recommendFrom(r *run, init *layout.Layout, startIdx int) (*Recommendation, error) {
 	rounds := a.opt.Rounds
 	if rounds <= 0 {
 		rounds = 2
@@ -291,7 +303,7 @@ func (a *Advisor) recommendFrom(r *run, init *layout.Layout, seedShift int64) (*
 	var best *Recommendation
 	start := init
 	for round := 0; round < rounds; round++ {
-		rec, err := a.oneRound(r, start, seedShift+int64(round)*101)
+		rec, err := a.oneRound(r, start, startIdx, round)
 		best = better(best, rec)
 		if err != nil {
 			return best, err
@@ -309,12 +321,12 @@ func (a *Advisor) recommendFrom(r *run, init *layout.Layout, seedShift int64) (*
 // degradation notes on r); the returned error is either a context error —
 // accompanied by a best-so-far recommendation — or a hard configuration
 // error with a nil recommendation.
-func (a *Advisor) oneRound(r *run, init *layout.Layout, seedShift int64) (*Recommendation, error) {
+func (a *Advisor) oneRound(r *run, init *layout.Layout, startIdx, round int) (*Recommendation, error) {
 	rec := &Recommendation{Initial: init.Clone()}
 	rec.InitialObjective, _ = a.safeObjective(init)
 
 	start := time.Now()
-	res, err := a.safeSolve(r, init, seedShift)
+	res, err := a.safeSolve(r, init, startIdx, round)
 	rec.SolveTime = time.Since(start)
 	if err != nil {
 		if !errors.Is(err, ErrModelFailure) {
@@ -333,6 +345,8 @@ func (a *Advisor) oneRound(r *run, init *layout.Layout, seedShift int64) (*Recom
 	rec.SolverObjective = res.Objective
 	rec.SolverIters = res.Iters
 	rec.SolverEvals = res.Evals
+	rec.SolverRestarts = res.Restarts
+	rec.SolverWorkers = res.Workers
 	rec.Trajectory = res.Trajectory
 	a.log("solve", "solver", a.opt.Solver.String(), "duration", rec.SolveTime,
 		"objective", rec.SolverObjective,
@@ -388,16 +402,21 @@ func (a *Advisor) oneRound(r *run, init *layout.Layout, seedShift int64) (*Recom
 
 // safeSolve dispatches to the configured solver with the remaining solve
 // budget, converting cost-model panics into ErrModelFailure-classified
-// errors. Solver misconfiguration (unknown solver, invalid annealing
-// schedule, unsupported constraints) comes back as ordinary errors.
-func (a *Advisor) safeSolve(r *run, init *layout.Layout, seedShift int64) (res nlp.Result, err error) {
+// errors (including panics raised on solver worker goroutines, which the
+// nlp worker pool re-raises on this goroutine). Solver misconfiguration
+// (unknown solver, invalid annealing schedule, unsupported constraints)
+// comes back as ordinary errors.
+func (a *Advisor) safeSolve(r *run, init *layout.Layout, startIdx, round int) (res nlp.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = layout.AsModelFailure(p)
 		}
 	}()
 	nopt := a.opt.NLP
-	nopt.Seed += seedShift
+	// Each (initial layout, round) solve gets its own seed stream; the
+	// solvers further derive per-restart streams below it, so no two
+	// perturbation sequences in one recommendation can collide.
+	nopt.Seed = nlp.SubSeed(a.opt.NLP.Seed, nlp.StreamAdvisor, int64(startIdx), int64(round))
 	if !r.deadline.IsZero() {
 		left := time.Until(r.deadline)
 		if left <= 0 {
@@ -420,21 +439,36 @@ func (a *Advisor) safeSolve(r *run, init *layout.Layout, seedShift int64) (res n
 		}
 		res = nlp.ProjectedGradient(r.ctx, a.ev, a.inst, init, nopt)
 	case SolverAnneal:
-		aopt := a.opt.Anneal
-		if aopt.MaxIters == 0 {
-			aopt.Options = nopt // seed shift and budget included
-		} else {
-			aopt.Seed += seedShift
-			aopt.Budget = nopt.Budget
-		}
-		res, err = nlp.Anneal(r.ctx, a.ev, a.inst, init, aopt)
+		res, err = nlp.Anneal(r.ctx, a.ev, a.inst, init, a.annealOptions(nopt))
 		if err != nil {
 			return res, fmt.Errorf("core: anneal: %w", err)
+		}
+	case SolverPortfolio:
+		res, err = a.portfolioSolve(r, init, nopt)
+		if err != nil {
+			return res, err
 		}
 	default:
 		return res, fmt.Errorf("core: unknown solver %v", a.opt.Solver)
 	}
 	return res, nil
+}
+
+// annealOptions merges the advisor's anneal tuning with the per-solve nlp
+// options. A custom schedule (Anneal.MaxIters set) keeps its own iteration
+// and restart tuning but still inherits the derived seed, remaining budget,
+// worker width, and trace hook from the solve at hand.
+func (a *Advisor) annealOptions(nopt nlp.Options) nlp.AnnealOptions {
+	aopt := a.opt.Anneal
+	if aopt.MaxIters == 0 {
+		aopt.Options = nopt
+		return aopt
+	}
+	aopt.Seed = nopt.Seed
+	aopt.Budget = nopt.Budget
+	aopt.Workers = nopt.Workers
+	aopt.Trace = nopt.Trace
+	return aopt
 }
 
 // safeRegularize regularizes (and optionally polishes) the solver layout,

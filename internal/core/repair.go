@@ -155,6 +155,10 @@ func RecommendRepair(ctx context.Context, inst *layout.Instance, current *layout
 	nopt := opt.NLP
 	nopt.MovableObjects = rep.Affected
 	nopt.Budget = opt.SolveBudget
+	// Repair solves draw from their own seed stream so a repair after a
+	// recommendation (same base seed) never replays the advisor's
+	// perturbation sequence.
+	nopt.Seed = nlp.SubSeed(opt.NLP.Seed, nlp.StreamRepair)
 	start := time.Now()
 	final, stop, serr := repairSolve(ctx, ev, rinst, seed, nopt)
 	rep.SolveTime = time.Since(start)

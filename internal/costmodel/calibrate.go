@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"dblayout/internal/seed"
 	"dblayout/internal/storage"
 )
 
@@ -116,7 +117,9 @@ func calibrateCell(factory TargetFactory, grid Grid, size, run int64, competitor
 	e := storage.NewEngine()
 	dev := factory(e)
 
-	seed := grid.Seed*7919 + size + run*13 + int64(competitors)*131
+	// Every cell (and every competitor within it) draws from its own
+	// derived stream, so no two cells of the sweep share a sequence.
+	cellSeed := seed.Sub(grid.Seed, seed.StreamCalibrate, size, run, int64(competitors))
 	extent := dev.Capacity() / 4
 	if extent < 64<<20 {
 		extent = 64 << 20
@@ -137,7 +140,7 @@ func calibrateCell(factory TargetFactory, grid Grid, size, run int64, competitor
 		Device: dev,
 		Stream: 1,
 		Pattern: &storage.RunPattern{
-			Rng:       rand.New(rand.NewSource(seed)),
+			Rng:       rand.New(rand.NewSource(cellSeed)),
 			Base:      0,
 			Extent:    extent,
 			Size:      size,
@@ -165,7 +168,7 @@ func calibrateCell(factory TargetFactory, grid Grid, size, run int64, competitor
 			Device: dev,
 			Stream: uint64(100 + c),
 			Pattern: &storage.RunPattern{
-				Rng:    rand.New(rand.NewSource(seed + int64(c)*3571 + 17)),
+				Rng:    rand.New(rand.NewSource(seed.Sub(cellSeed, int64(c)+1))),
 				Base:   extent * 2,
 				Extent: extent,
 				Size:   grid.CompetitorSize,

@@ -41,24 +41,29 @@ func Ablation(cfg *Config) ([]AblationRow, error) {
 		opt  core.Options
 	}{
 		{"transfer+multistart (default)", core.Options{
-			NLP:            nlp.Options{Seed: cfg.Seed},
+			NLP:            nlp.Options{Seed: cfg.Seed, Workers: cfg.Workers},
 			InitialLayouts: []*layout.Layout{heuristic, see},
 		}},
 		{"transfer, heuristic init only", core.Options{
-			NLP:            nlp.Options{Seed: cfg.Seed},
+			NLP:            nlp.Options{Seed: cfg.Seed, Workers: cfg.Workers},
 			InitialLayouts: []*layout.Layout{heuristic},
 		}},
 		{"transfer, SEE init only", core.Options{
-			NLP:            nlp.Options{Seed: cfg.Seed},
+			NLP:            nlp.Options{Seed: cfg.Seed, Workers: cfg.Workers},
 			InitialLayouts: []*layout.Layout{see},
 		}},
 		{"anneal", core.Options{
 			Solver:         core.SolverAnneal,
-			NLP:            nlp.Options{Seed: cfg.Seed, MaxIters: 20000},
+			NLP:            nlp.Options{Seed: cfg.Seed, MaxIters: 20000, Workers: cfg.Workers},
+			InitialLayouts: []*layout.Layout{heuristic},
+		}},
+		{"solver portfolio", core.Options{
+			Solver:         core.SolverPortfolio,
+			NLP:            nlp.Options{Seed: cfg.Seed, Workers: cfg.Workers},
 			InitialLayouts: []*layout.Layout{heuristic},
 		}},
 		{"no polish, single round", core.Options{
-			NLP:            nlp.Options{Seed: cfg.Seed},
+			NLP:            nlp.Options{Seed: cfg.Seed, Workers: cfg.Workers},
 			InitialLayouts: []*layout.Layout{heuristic, see},
 			SkipPolish:     true,
 			Rounds:         1,

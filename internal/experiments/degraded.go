@@ -104,7 +104,7 @@ func Degraded(cfg *Config) (*DegradedResult, error) {
 	out.FailedTarget = inst.Targets[failed].Name
 	start := time.Now()
 	rep, err := core.RecommendRepair(context.Background(), inst, rec.Final, []int{failed},
-		core.Options{NLP: nlp.Options{Seed: cfg.Seed, Trace: cfg.Trace}, Logger: cfg.Logger})
+		core.Options{NLP: nlp.Options{Seed: cfg.Seed, Trace: cfg.Trace, Workers: cfg.Workers}, Logger: cfg.Logger})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: repair: %w", err)
 	}

@@ -39,6 +39,10 @@ type Config struct {
 	// Quick shrinks workloads (fewer queries) for use in tests; the
 	// paper-scale runs leave it false.
 	Quick bool
+	// Workers bounds solver restart parallelism for every advisor run in
+	// the experiments (0 = auto, 1 = serial). Results are identical at any
+	// worker count; only wall-clock time changes.
+	Workers int
 	// Logger, when non-nil, receives advisor phase spans and replay
 	// summaries. Nil disables logging.
 	Logger *slog.Logger
@@ -109,7 +113,7 @@ func (c *Config) advise(inst *layout.Instance) (*core.Recommendation, error) {
 		return nil, err
 	}
 	adv, err := core.New(inst, core.Options{
-		NLP:            nlp.Options{Seed: c.Seed, Trace: c.Trace},
+		NLP:            nlp.Options{Seed: c.Seed, Trace: c.Trace, Workers: c.Workers},
 		InitialLayouts: []*layout.Layout{heuristic, layout.SEE(inst.N(), inst.M())},
 		Logger:         c.Logger,
 	})

@@ -50,29 +50,68 @@ func (o AnnealOptions) withDefaults() (AnnealOptions, error) {
 // related-work Rubio et al. system used simulated annealing for a similar
 // placement problem).
 //
-// The run is reproducible from Options.Seed alone (Seed 0 is the
+// Options.Restarts adds that many further full annealing chains, each from a
+// randomly perturbed copy of the initial layout with a fresh cooling
+// schedule, fanned across Options.Workers goroutines; the best layout over
+// all chains wins. Each chain draws from its own seed stream, so the run is
+// reproducible from Options.Seed alone at any worker count (Seed 0 is the
 // deterministic default seed; the global math/rand state is never
-// consulted). An error is returned for out-of-range annealing schedules;
-// see AnnealOptions.
+// consulted). An error is returned for out-of-range annealing schedules; see
+// AnnealOptions.
 //
-// The annealing loop honours ctx and Options.Budget, polling every few dozen
+// The annealing loops honour ctx and Options.Budget, polling every few dozen
 // moves (annealing moves are two evaluations each, so per-move checks would
-// dominate); on cancellation or budget exhaustion it stops and returns the
-// best layout so far with Result.Stop set. A nil ctx is treated as
-// context.Background().
+// dominate); on cancellation or budget exhaustion the solve stops and
+// returns the best layout so far with Result.Stop set. A nil ctx is treated
+// as context.Background().
 func Anneal(ctx context.Context, ev Evaluator, inst *layout.Instance, init *layout.Layout, opt AnnealOptions) (Result, error) {
 	opt, err := opt.withDefaults()
 	if err != nil {
 		return Result{}, err
 	}
 	start := time.Now()
-	rng := rand.New(rand.NewSource(opt.Seed + 2))
-	lim := newLimiter(ctx, opt.Budget).every(64)
+	deadline := budgetDeadline(opt.Budget)
+	lim := newLimiterAt(ctx, deadline).every(64)
 
 	s := newTransferState(ev, inst, init.Clone())
-	res := Result{}
+	tk := newTracker("anneal", opt.Trace, s.objective())
+	rng := rand.New(rand.NewSource(SubSeed(opt.Seed, StreamAnneal, 0)))
+	res := Result{Workers: opt.workers()}
+	best, bestObj := annealChain(s, rng, opt, tk, lim, 0, &res)
+	res.Evals = s.evals
+	res.Stop = lim.stopped
+
+	var outs []restartOutcome
+	if lim.stopped == nil {
+		outs = runRestarts(ctx, deadline, opt.Options, func(r int, rlim *limiter) restartOutcome {
+			rlim.every(64)
+			rng := rand.New(rand.NewSource(SubSeed(opt.Seed, StreamAnneal, int64(r))))
+			rs := newTransferState(ev, inst, init.Clone())
+			rs.perturb(rng, opt.Options)
+			rtk := newRestartTracker("anneal", rs.objective(), opt.Trace != nil)
+			var rr Result
+			bl, bo := annealChain(rs, rng, opt, rtk, rlim, r, &rr)
+			return restartOutcome{
+				layout: bl, obj: bo,
+				iters: rr.Iters, evals: rs.evals,
+				tk: rtk, stop: rlim.stopped,
+			}
+		})
+	}
+	best, bestObj = mergeOutcomes(&res, tk, outs, best, bestObj, lim.stopped)
+
+	res.Layout = best
+	res.Objective = bestObj
+	res.Elapsed = time.Since(start)
+	tk.finish(&res)
+	return res, nil
+}
+
+// annealChain runs one full annealing schedule on s, recording iterations on
+// tk (tagged with the restart index) and effort on res. It returns the best
+// layout the chain visited and its objective.
+func annealChain(s *transferState, rng *rand.Rand, opt AnnealOptions, tk *tracker, lim *limiter, restart int, res *Result) (*layout.Layout, float64) {
 	cur := s.objective()
-	tk := newTracker("anneal", opt.Trace, cur)
 	best := s.l.Clone()
 	bestObj := cur
 	temp := opt.StartTemp * cur
@@ -98,17 +137,10 @@ func Anneal(ctx context.Context, ev Evaluator, inst *layout.Instance, init *layo
 				best = s.l.Clone()
 			}
 		}
-		tk.note(0, cur, accepted, temp, s.evals)
+		tk.note(restart, cur, accepted, temp, s.evals)
 		temp *= opt.Cooling
 	}
-
-	res.Layout = best
-	res.Objective = bestObj
-	res.Evals = s.evals
-	res.Elapsed = time.Since(start)
-	res.Stop = lim.stopped
-	tk.finish(&res)
-	return res, nil
+	return best, bestObj
 }
 
 // randomMove proposes a feasible random transfer of part of a random

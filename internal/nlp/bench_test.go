@@ -1,0 +1,42 @@
+package nlp
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"dblayout/internal/layout"
+	"dblayout/internal/layouttest"
+)
+
+// benchSolve runs one multi-restart solve of the named strategy at the given
+// worker count. The restart count is high enough that the worker pool, not
+// the first descent, dominates the run — the configuration the ≥2x speedup
+// acceptance criterion is measured on (compare the workers=1 and workers=4
+// lines of the same solver, e.g. `go test -bench=Solve ./internal/nlp/`).
+func benchSolve(b *testing.B, c solverCase, workers int) {
+	inst := layouttest.Replicated(4, 8)
+	ev := layout.NewEvaluator(inst)
+	init, err := layout.InitialLayout(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := Options{Seed: 1, Restarts: 8, Workers: workers, MaxIters: 400}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := c.solve(context.Background(), ev, inst, init, opt)
+		if res.Layout == nil {
+			b.Fatal("no layout")
+		}
+	}
+}
+
+func BenchmarkSolve(b *testing.B) {
+	for _, c := range solverCases() {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/workers=%d", c.name, workers), func(b *testing.B) {
+				benchSolve(b, c, workers)
+			})
+		}
+	}
+}

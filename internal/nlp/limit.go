@@ -36,14 +36,29 @@ type limiter struct {
 // A nil context is treated as context.Background(); a zero budget means
 // unbounded.
 func newLimiter(ctx context.Context, budget time.Duration) *limiter {
+	return newLimiterAt(ctx, budgetDeadline(budget))
+}
+
+// budgetDeadline converts a budget into the absolute deadline shared by
+// every limiter of one solve. Deriving it once up front matters for the
+// parallel path: worker limiters are created as restarts are scheduled, and
+// computing now+budget at each creation would silently extend the budget.
+// A zero budget returns the zero time (unbounded).
+func budgetDeadline(budget time.Duration) time.Time {
+	if budget <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(budget)
+}
+
+// newLimiterAt builds a limiter against an absolute deadline (zero =
+// unbounded). Limiters are single-goroutine state; concurrent workers each
+// get their own against the same deadline.
+func newLimiterAt(ctx context.Context, deadline time.Time) *limiter {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	l := &limiter{ctx: ctx, stride: 1}
-	if budget > 0 {
-		l.deadline = time.Now().Add(budget)
-	}
-	return l
+	return &limiter{ctx: ctx, stride: 1, deadline: deadline}
 }
 
 // every sets the polling stride for solvers with very cheap iterations.

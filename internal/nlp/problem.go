@@ -44,9 +44,23 @@ type Options struct {
 	// Tolerance is the minimum relative objective improvement that keeps
 	// the search going (default 1e-4).
 	Tolerance float64
-	// Restarts is the number of random perturbation rounds after the
-	// first descent converges; the best layout found is kept (default 3).
+	// Restarts is the number of random multi-start rounds after the first
+	// search converges; the best layout found is kept (default 3). Every
+	// solver honours it: TransferSearch re-descends from perturbations of
+	// its first descent's result, ProjectedGradient re-descends from
+	// perturbations of the initial layout, and Anneal runs one additional
+	// full annealing chain per restart from a perturbed initial layout.
+	// Restarts are independent of each other by construction, so they
+	// parallelize (see Workers) without changing the chosen layout.
 	Restarts int
+	// Workers bounds how many restarts run concurrently. Zero selects
+	// min(Restarts+1, GOMAXPROCS); 1 forces a fully serial solve. The
+	// chosen layout is bit-identical for a given (Seed, Restarts) at any
+	// worker count — parallelism changes wall-clock time, never the
+	// result — except when Budget or a cancellation truncates the search,
+	// in which case the set of restarts that completed in time is
+	// scheduler-dependent.
+	Workers int
 	// Budget bounds the solver's wall-clock search time. When it elapses
 	// the solver stops at the next periodic check and returns its best
 	// layout so far with Result.Stop = ErrBudgetExceeded. Zero means
@@ -58,9 +72,13 @@ type Options struct {
 	// same Seed — including the zero value — produce identical results.
 	Seed int64
 	// Trace, when non-nil, observes every solver iteration. The hook is
-	// invoked synchronously on the solver goroutine after each iteration's
-	// accept/reject decision, so it must be fast; heavyweight sinks should
-	// buffer. The Best field of the delivered events is non-increasing.
+	// never invoked concurrently and must be fast; heavyweight sinks
+	// should buffer. Events for the first search (restart 0) are delivered
+	// live from the solver goroutine; events from restart rounds are
+	// recorded per worker and delivered when the solve completes, merged
+	// in restart order with globally renumbered Iter values — so the
+	// delivered stream is identical at every worker count, Iter is
+	// consecutive from 1, and the Best field is non-increasing.
 	Trace func(TraceEvent)
 	// StepFractions are the fractions of an object's current assignment
 	// that a single transfer move may shift (default 1, 1/2, 1/4, 1/8).
@@ -108,6 +126,12 @@ type Result struct {
 	Objective float64 // max target utilization of Layout
 	Iters     int     // improvement iterations performed
 	Evals     int     // target utilization evaluations performed
+	// Restarts counts the restart rounds actually performed beyond the
+	// first search. It equals Options.Restarts unless a budget or
+	// cancellation cut the multi-start short.
+	Restarts int
+	// Workers is the resolved worker-pool width the solve used.
+	Workers int
 
 	// Elapsed is the solver's wall-clock search time.
 	Elapsed time.Duration

@@ -3,6 +3,7 @@ package nlp
 import (
 	"context"
 	"math"
+	"math/rand"
 	"time"
 
 	"dblayout/internal/layout"
@@ -15,25 +16,68 @@ import (
 // per gradient, so it is intended for small and mid-size instances and as a
 // cross-check on TransferSearch.
 //
-// The descent honours ctx and Options.Budget: it checks for cancellation or
-// budget exhaustion between gradient iterations and stops with the best
+// The base descent is fully deterministic. Options.Restarts re-descends from
+// that many randomly perturbed copies of the initial layout (each from its
+// own seed stream, fanned across Options.Workers goroutines) and keeps the
+// best layout, so the result does not depend on the worker count.
+//
+// The descents honour ctx and Options.Budget: each checks for cancellation
+// or budget exhaustion between gradient iterations and stops with the best
 // layout so far, classifying the reason in Result.Stop. A nil ctx is treated
 // as context.Background().
 func ProjectedGradient(ctx context.Context, ev Evaluator, inst *layout.Instance, init *layout.Layout, opt Options) Result {
 	opt = opt.withDefaults()
 	start := time.Now()
-	lim := newLimiter(ctx, opt.Budget)
-	l := init.Clone()
-	res := Result{}
+	deadline := budgetDeadline(opt.Budget)
+	lim := newLimiterAt(ctx, deadline)
 
-	sizes := inst.Sizes()
-	caps := inst.Capacities()
+	l := init.Clone()
 	utils := ev.Utilizations(l)
-	res.Evals += l.M
 	_, cur := maxOf(utils)
 	tk := newTracker("projected-gradient", opt.Trace, cur)
+	res := Result{Workers: opt.workers()}
+
+	best, bestObj, iters, evals := gradientDescend(ev, inst, l, utils, cur, opt, tk, lim, 0)
+	res.Iters = iters
+	res.Evals = evals + l.M
+	res.Stop = lim.stopped
+
+	var outs []restartOutcome
+	if lim.stopped == nil {
+		outs = runRestarts(ctx, deadline, opt, func(r int, rlim *limiter) restartOutcome {
+			rng := rand.New(rand.NewSource(SubSeed(opt.Seed, StreamProjGrad, int64(r))))
+			rs := newTransferState(ev, inst, init.Clone())
+			rs.perturb(rng, opt)
+			_, rcur := maxOf(rs.utils)
+			rtk := newRestartTracker("projected-gradient", rcur, opt.Trace != nil)
+			rutils := append([]float64(nil), rs.utils...)
+			lay, obj, it, ev2 := gradientDescend(ev, inst, rs.l, rutils, rcur, opt, rtk, rlim, r)
+			return restartOutcome{
+				layout: lay, obj: obj,
+				iters: it, evals: ev2 + rs.evals,
+				tk: rtk, stop: rlim.stopped,
+			}
+		})
+	}
+	best, bestObj = mergeOutcomes(&res, tk, outs, best, bestObj, lim.stopped)
+
+	res.Layout = best
+	res.Objective = bestObj
+	res.Elapsed = time.Since(start)
+	tk.finish(&res)
+	return res
+}
+
+// gradientDescend runs the projected-gradient descent from l (whose current
+// utilizations and max the caller supplies) until convergence, the iteration
+// bound, or a limiter stop. It owns l and returns the final layout, its
+// objective, and the iteration/evaluation effort spent.
+func gradientDescend(ev Evaluator, inst *layout.Instance, l *layout.Layout, utils []float64, cur float64, opt Options, tk *tracker, lim *limiter, restart int) (*layout.Layout, float64, int, int) {
+	sizes := inst.Sizes()
+	caps := inst.Capacities()
 	step := 0.25
 	const h = 1e-4
+	iters, evals := 0, 0
 
 	for iter := 0; iter < opt.MaxIters; iter++ {
 		if lim.stop() != nil {
@@ -69,7 +113,7 @@ func ProjectedGradient(ctx context.Context, ev Evaluator, inst *layout.Instance,
 				old := l.At(i, j)
 				l.Set(i, j, old+h)
 				up := ev.TargetUtilization(l, j)
-				res.Evals++
+				evals++
 				l.Set(i, j, old)
 				grad[i*l.M+j] = w[j] * (up - utils[j]) / h
 			}
@@ -94,7 +138,7 @@ func ProjectedGradient(ctx context.Context, ev Evaluator, inst *layout.Instance,
 				continue
 			}
 			cu := ev.Utilizations(cand)
-			res.Evals += cand.M
+			evals += cand.M
 			if _, cv := maxOf(cu); cv < cur-1e-12 {
 				l = cand
 				utils = cu
@@ -110,19 +154,13 @@ func ProjectedGradient(ctx context.Context, ev Evaluator, inst *layout.Instance,
 			}
 			step /= 2
 		}
-		res.Iters++
-		tk.note(0, cur, improved, 0, res.Evals)
+		iters++
+		tk.note(restart, cur, improved, 0, evals)
 		if !improved || step < 1e-6 {
 			break
 		}
 	}
-
-	res.Layout = l
-	res.Objective = cur
-	res.Elapsed = time.Since(start)
-	res.Stop = lim.stopped
-	tk.finish(&res)
-	return res
+	return l, cur, iters, evals
 }
 
 // repairCapacity rescales assignments so no target is over capacity,

@@ -67,12 +67,28 @@ func (t *trajectory) add(p TrajPoint) {
 // is always active — the trajectory summary is cheap (an integer modulo per
 // iteration and a bounded slice) — but only invokes the user hook when one
 // was supplied.
+//
+// A tracker comes in two modes. The main tracker (newTracker) observes the
+// solver's first descent live and is the merge point for everything else.
+// Restart trackers (newRestartTracker) run on worker goroutines: they never
+// touch the user hook or the shared trajectory; they record a bounded local
+// trajectory plus — only when a user hook exists and the events must
+// eventually be delivered — the full event sequence. After all workers
+// finish, the main tracker absorbs each restart tracker in restart order
+// (see merge), renumbering iterations globally and recomputing the monotone
+// Best, so the delivered stream is identical for every worker count.
 type tracker struct {
 	solver string
 	trace  func(TraceEvent)
 	traj   trajectory
 	iter   int
 	best   float64
+	evals  int // evaluation count offset applied when merging restarts
+
+	// buffer, when true, makes note record into events instead of
+	// delivering to trace (which is nil in that mode).
+	buffer bool
+	events []TraceEvent
 }
 
 // newTracker seeds the tracker with the initial objective as iteration 0.
@@ -82,6 +98,13 @@ func newTracker(solver string, trace func(TraceEvent), initial float64) *tracker
 	return tk
 }
 
+// newRestartTracker builds a worker-local tracker for one restart. When
+// keepEvents is false (no user hook installed on the main tracker) only the
+// bounded trajectory is recorded, so memory stays O(1) per restart.
+func newRestartTracker(solver string, initial float64, keepEvents bool) *tracker {
+	return &tracker{solver: solver, best: initial, buffer: keepEvents}
+}
+
 // note records the outcome of one solver iteration.
 func (tk *tracker) note(restart int, objective float64, accepted bool, temp float64, evals int) {
 	tk.iter++
@@ -89,18 +112,63 @@ func (tk *tracker) note(restart int, objective float64, accepted bool, temp floa
 		tk.best = objective
 	}
 	tk.traj.add(TrajPoint{Iter: tk.iter, Objective: objective, Best: tk.best})
-	if tk.trace != nil {
-		tk.trace(TraceEvent{
-			Solver:    tk.solver,
-			Restart:   restart,
-			Iter:      tk.iter,
-			Objective: objective,
-			Best:      tk.best,
-			Accepted:  accepted,
-			Temp:      temp,
-			Evals:     evals,
-		})
+	if tk.trace == nil && !tk.buffer {
+		return
 	}
+	ev := TraceEvent{
+		Solver:    tk.solver,
+		Restart:   restart,
+		Iter:      tk.iter,
+		Objective: objective,
+		Best:      tk.best,
+		Accepted:  accepted,
+		Temp:      temp,
+		Evals:     evals,
+	}
+	if tk.buffer {
+		tk.events = append(tk.events, ev)
+		return
+	}
+	tk.trace(ev)
+}
+
+// merge absorbs one restart tracker's recording into the main tracker:
+// iterations are renumbered to continue the global count, Best is recomputed
+// so it stays monotone across the merged stream, evaluation counts are
+// shifted to stay cumulative in merge order, and — when a user hook is
+// installed — the restart's buffered events are delivered in order. Callers
+// must merge restarts in ascending restart order to keep the delivered
+// stream deterministic.
+func (tk *tracker) merge(rt *tracker, restartEvals int) {
+	base := tk.iter
+	if rt.buffer && tk.trace != nil {
+		for _, ev := range rt.events {
+			tk.iter++
+			if ev.Objective < tk.best {
+				tk.best = ev.Objective
+			}
+			ev.Iter = tk.iter
+			ev.Best = tk.best
+			ev.Evals += tk.evals
+			tk.traj.add(TrajPoint{Iter: ev.Iter, Objective: ev.Objective, Best: tk.best})
+			tk.trace(ev)
+		}
+	} else {
+		// No event stream to replay: fold the restart's bounded
+		// trajectory into the shared one with shifted iteration numbers.
+		for _, p := range rt.traj.points {
+			b := p.Best
+			if tk.best < b {
+				b = tk.best
+			}
+			tk.traj.add(TrajPoint{Iter: base + p.Iter, Objective: p.Objective, Best: b})
+		}
+		tk.iter += rt.iter
+		if rt.best < tk.best {
+			tk.best = rt.best
+		}
+	}
+	tk.evals += restartEvals
 }
 
 // finish stores the trajectory summary on the result.

@@ -13,45 +13,57 @@ import (
 // most utilized target to another target. A move changes only two columns of
 // the layout, so only two target utilizations are re-evaluated; all others
 // are cached. After the descent converges, the search restarts from randomly
-// perturbed layouts (Options.Restarts times) and keeps the best result —
-// mirroring the multi-start iteration of the paper's Fig. 4.
+// perturbed copies of the descent's result (Options.Restarts independent
+// rounds, fanned across Options.Workers goroutines) and keeps the best
+// layout — mirroring the multi-start iteration of the paper's Fig. 4. Each
+// restart draws its perturbation from its own seed stream, so the chosen
+// layout does not depend on the worker count.
 //
 // The initial layout must be valid; the returned layout always is.
 //
-// The search honours ctx and Options.Budget: between iterations it
+// The search honours ctx and Options.Budget: between iterations every worker
 // periodically checks for cancellation or budget exhaustion and, when either
-// fires, stops and returns the best layout found so far with Result.Stop
-// classifying the reason. A nil ctx is treated as context.Background().
+// fires, the solve stops and returns the best layout found so far with
+// Result.Stop classifying the reason. A nil ctx is treated as
+// context.Background().
 func TransferSearch(ctx context.Context, ev Evaluator, inst *layout.Instance, init *layout.Layout, opt Options) Result {
 	opt = opt.withDefaults()
 	start := time.Now()
-	rng := rand.New(rand.NewSource(opt.Seed + 1))
-	lim := newLimiter(ctx, opt.Budget)
+	deadline := budgetDeadline(opt.Budget)
+	lim := newLimiterAt(ctx, deadline)
 
 	s := newTransferState(ev, inst, init.Clone())
 	tk := newTracker("transfer", opt.Trace, s.objective())
-	res := Result{}
+	res := Result{Workers: opt.workers()}
 	s.descend(&res, opt, tk, lim, 0)
 
-	best := s.l.Clone()
+	base := s.l.Clone()
 	_, bestObj := maxOf(s.utils)
+	best := base
+	res.Stop = lim.stopped
 
-	for r := 0; r < opt.Restarts && lim.stop() == nil; r++ {
-		s.perturb(rng, opt)
-		s.descend(&res, opt, tk, lim, r+1)
-		if _, obj := maxOf(s.utils); obj < bestObj {
-			bestObj = obj
-			best = s.l.Clone()
-		} else {
-			// Resume from the best-so-far for the next perturbation.
-			s.reset(best.Clone())
-		}
+	var outs []restartOutcome
+	if lim.stopped == nil {
+		outs = runRestarts(ctx, deadline, opt, func(r int, rlim *limiter) restartOutcome {
+			rng := rand.New(rand.NewSource(SubSeed(opt.Seed, StreamTransfer, int64(r))))
+			rs := newTransferState(ev, inst, base.Clone())
+			rtk := newRestartTracker("transfer", rs.objective(), opt.Trace != nil)
+			rs.perturb(rng, opt)
+			var rr Result
+			rs.descend(&rr, opt, rtk, rlim, r)
+			_, obj := maxOf(rs.utils)
+			return restartOutcome{
+				layout: rs.l.Clone(), obj: obj,
+				iters: rr.Iters, evals: rs.evals,
+				tk: rtk, stop: rlim.stopped,
+			}
+		})
 	}
+	best, bestObj = mergeOutcomes(&res, tk, outs, best, bestObj, lim.stopped)
 
 	res.Layout = best
 	res.Objective = bestObj
 	res.Elapsed = time.Since(start)
-	res.Stop = lim.stopped
 	tk.finish(&res)
 	return res
 }

@@ -8,6 +8,7 @@ import (
 	"dblayout/internal/benchdb"
 	"dblayout/internal/layout"
 	"dblayout/internal/obs"
+	"dblayout/internal/seed"
 	"dblayout/internal/storage"
 )
 
@@ -131,7 +132,7 @@ func newRunner(sys *System, l *layout.Layout, opt Options) (*runner, *storage.Tr
 		devices:  devices,
 		m:        m,
 		objIdx:   sys.objectIndex(),
-		rng:      rand.New(rand.NewSource(opt.Seed + 1)),
+		rng:      rand.New(rand.NewSource(seed.Sub(opt.Seed, seed.StreamReplay))),
 		prefetch: opt.PrefetchDepth,
 		opt:      opt,
 		latency:  latency,
