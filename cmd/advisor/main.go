@@ -8,6 +8,8 @@
 //	        [-portfolio] [-non-regular] [-utilizations] [-v | -log-level L]
 //	        [-trace-out solver.jsonl] [-metrics-out metrics.prom]
 //	        [-cpuprofile f] [-memprofile f]
+//	        [-execute] [-journal f] [-copy-rate MiBps] [-queue-share S]
+//	        [-scratch-mb N]
 //
 // The problem file describes objects, targets and per-object workloads:
 //
@@ -30,6 +32,17 @@
 // "disk7200", "ssd"), which is calibrated on first use, or "@file.json", a
 // model previously saved by cmd/calibrate.
 //
+// With -execute the advisor additionally simulates the online migration
+// from the current layout (an optional "current" fraction matrix in the
+// problem file, one row per object; default SEE) to the recommendation,
+// using the crash-safe engine in internal/migrate: moves run in a
+// capacity-safe order, cycles are broken through a scratch reservation
+// (-scratch-mb, 0 = auto-sized), and the copy stream can be throttled
+// (-copy-rate in MiB/s, -queue-share). -journal names a write-ahead journal
+// file; re-running with an existing journal resumes an interrupted
+// migration instead of restarting it. Built-in device types only: "@file"
+// cost models carry no simulator configuration.
+//
 // Exit codes distinguish failure classes so scripts can react:
 //
 //	0  success (including degraded recommendations, reported on stderr)
@@ -38,6 +51,10 @@
 //	3  solve budget exhausted before any usable layout was produced
 //	4  cost-model failure prevented a recommendation
 //	5  interrupted (SIGINT/SIGTERM before a layout was available)
+//	6  migration aborted on a device fault (-execute; journal holds the
+//	   consistent state, replan with the repair advisor)
+//	7  migration deadlocked with insufficient scratch space (-execute;
+//	   raise -scratch-mb)
 package main
 
 import (
@@ -46,6 +63,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -55,7 +73,9 @@ import (
 	"dblayout"
 	"dblayout/internal/costmodel"
 	"dblayout/internal/layout"
+	"dblayout/internal/migrate"
 	"dblayout/internal/obs"
+	"dblayout/internal/replay"
 	"dblayout/internal/storage"
 )
 
@@ -71,6 +91,10 @@ type problemFile struct {
 		Model      string `json:"model"`
 	} `json:"targets"`
 	Workloads *dblayout.WorkloadSet `json:"workloads"`
+	// Current optionally gives the layout the data occupies today, one
+	// row of per-target fractions per object; -execute migrates from it.
+	// Absent, the migration starts from SEE (striped over everything).
+	Current [][]float64 `json:"current"`
 }
 
 func kindOf(s string) (dblayout.ObjectKind, error) {
@@ -130,6 +154,11 @@ func run() error {
 	portfolio := flag.Bool("portfolio", false, "race the transfer, anneal and projected-gradient solvers concurrently and keep the best layout")
 	nonRegular := flag.Bool("non-regular", false, "skip regularization (solver output may use uneven fractions)")
 	showUtils := flag.Bool("utilizations", false, "also print predicted per-target utilizations")
+	execute := flag.Bool("execute", false, "simulate the online migration from the current layout to the recommendation")
+	journalPath := flag.String("journal", "", "write-ahead journal file for -execute; an existing journal resumes the migration")
+	copyRate := flag.Float64("copy-rate", 0, "migration copy throttle in MiB/s for -execute (0 = unthrottled)")
+	queueShare := flag.Float64("queue-share", 0.5, "max share of a device queue the migration copy stream may occupy (1 disables yielding)")
+	scratchMB := flag.Int64("scratch-mb", 0, "scratch reservation for breaking migration capacity deadlocks (0 = auto-sized)")
 	var cli obs.CLI
 	cli.Register(flag.CommandLine)
 	flag.Parse()
@@ -237,6 +266,152 @@ func run() error {
 		fmt.Printf("\nsolver effort: %d iterations, %d objective evaluations, %v total\n",
 			rec.SolverIters, rec.SolverEvals, elapsed.Round(time.Millisecond))
 	}
+	if *execute {
+		return executeMigration(&pf, p, rec.Final, executeOptions{
+			journalPath: *journalPath,
+			copyRate:    *copyRate,
+			queueShare:  *queueShare,
+			scratchMB:   *scratchMB,
+			metrics:     sess.Registry,
+		})
+	}
+	return nil
+}
+
+type executeOptions struct {
+	journalPath string
+	copyRate    float64
+	queueShare  float64
+	scratchMB   int64
+	metrics     *obs.Registry
+}
+
+// deviceFor maps a problem target onto a simulator device spec. Only
+// built-in device types can be simulated; calibrated "@file" models carry a
+// cost table but no simulator configuration.
+func deviceFor(name, model string, capacity int64) (replay.DeviceSpec, error) {
+	switch model {
+	case "disk15k", "":
+		cfg := storage.Disk15KConfig()
+		cfg.CapacityBytes = capacity
+		return replay.DeviceSpec{Name: name, Disk: &cfg}, nil
+	case "disk7200":
+		cfg := storage.Disk7200Config()
+		cfg.CapacityBytes = capacity
+		return replay.DeviceSpec{Name: name, Disk: &cfg}, nil
+	case "ssd":
+		cfg := storage.SSD32Config()
+		cfg.CapacityBytes = capacity
+		return replay.DeviceSpec{Name: name, SSD: &cfg}, nil
+	}
+	return replay.DeviceSpec{}, fmt.Errorf("cannot simulate model %q for target %q: -execute needs a built-in device type (disk15k, disk7200, ssd)", model, name)
+}
+
+// currentLayout resolves the migration's starting layout: the problem
+// file's "current" matrix when present, SEE otherwise.
+func currentLayout(pf *problemFile, n, m int) (*layout.Layout, error) {
+	if pf.Current == nil {
+		return layout.SEE(n, m), nil
+	}
+	if len(pf.Current) != n {
+		return nil, fmt.Errorf("\"current\" has %d rows for %d objects", len(pf.Current), n)
+	}
+	l := layout.New(n, m)
+	for i, row := range pf.Current {
+		if len(row) != m {
+			return nil, fmt.Errorf("\"current\" row %d has %d fractions for %d targets", i, len(row), m)
+		}
+		l.SetRow(i, row)
+	}
+	if err := l.CheckIntegrity(); err != nil {
+		return nil, fmt.Errorf("\"current\" layout: %w", err)
+	}
+	return l, nil
+}
+
+// executeMigration simulates the online migration from the current layout
+// to the recommended one against an idle system, journaling every move so
+// an interrupted run resumes from its checkpoint.
+func executeMigration(pf *problemFile, p dblayout.Problem, target *dblayout.Layout, opt executeOptions) error {
+	sys := &replay.System{Objects: p.Objects, StripeSize: p.StripeSize}
+	sizes := make([]int64, len(p.Objects))
+	for i, o := range p.Objects {
+		sizes[i] = o.Size
+	}
+	caps := make([]int64, len(pf.Targets))
+	for j, t := range pf.Targets {
+		spec, err := deviceFor(t.Name, t.Model, t.CapacityMB<<20)
+		if err != nil {
+			return err
+		}
+		sys.Devices = append(sys.Devices, spec)
+		caps[j] = t.CapacityMB << 20
+	}
+	current, err := currentLayout(pf, len(p.Objects), len(pf.Targets))
+	if err != nil {
+		return err
+	}
+
+	scratch := migrate.AutoScratch(current, target, sizes, caps)
+	if opt.scratchMB > 0 {
+		scratch.Bytes = opt.scratchMB << 20
+	}
+
+	var journal io.Writer
+	var resume []byte
+	if opt.journalPath != "" {
+		data, err := os.ReadFile(opt.journalPath)
+		if err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		resume = migrate.TruncateTorn(data)
+		if len(resume) < len(data) {
+			// Drop a torn final line before appending to the file.
+			if err := os.Truncate(opt.journalPath, int64(len(resume))); err != nil {
+				return err
+			}
+		}
+		f, err := os.OpenFile(opt.journalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		journal = f
+		if len(resume) > 0 {
+			fmt.Fprintf(os.Stderr, "advisor: resuming migration from journal %s\n", opt.journalPath)
+		}
+	}
+
+	res, err := migrate.Execute(sys, current, target, nil, replay.Options{Seed: 1, Metrics: opt.metrics}, migrate.Options{
+		BytesPerSec:   opt.copyRate * (1 << 20),
+		MaxQueueShare: opt.queueShare,
+		Scratch:       scratch,
+		Journal:       journal,
+		Resume:        resume,
+		Metrics:       opt.metrics,
+	})
+	if err != nil {
+		return fmt.Errorf("executing migration: %w", err)
+	}
+
+	m := res.Migration
+	staged := 0
+	for _, s := range res.Script {
+		if s.Kind == migrate.StepStageIn {
+			staged++
+		}
+	}
+	fmt.Printf("\nonline migration: %d moves (%d staged through %s scratch), %.1f MiB copied\n",
+		len(res.Plan), staged, pf.Targets[scratch.Target].Name, float64(m.CommittedBytes)/(1<<20))
+	if m.Elapsed > 0 {
+		fmt.Printf("simulated duration %.2fs (%.1f MiB/s effective)\n",
+			m.Elapsed, float64(m.CommittedBytes)/(1<<20)/m.Elapsed)
+	} else {
+		fmt.Println("nothing left to copy (layouts already agree, or the journal records completion)")
+	}
+	if opt.journalPath != "" {
+		fmt.Printf("journal: %s (%d records appended)\n", opt.journalPath, m.JournalRecords)
+	}
 	return nil
 }
 
@@ -267,6 +442,10 @@ func exitCode(err error) int {
 		return 4
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return 5
+	case errors.Is(err, migrate.ErrMigrationAborted):
+		return 6
+	case errors.Is(err, migrate.ErrScratchExhausted):
+		return 7
 	}
 	return 1
 }
@@ -285,6 +464,12 @@ func main() {
 			os.Exit(code)
 		case 5:
 			fmt.Fprintln(os.Stderr, "advisor: interrupted:", err)
+			os.Exit(code)
+		case 6:
+			fmt.Fprintln(os.Stderr, "advisor: migration aborted:", err)
+			os.Exit(code)
+		case 7:
+			fmt.Fprintln(os.Stderr, "advisor: migration scratch space exhausted:", err)
 			os.Exit(code)
 		default:
 			fmt.Fprintln(os.Stderr, "advisor:", err)

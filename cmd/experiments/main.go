@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig8|fig11|fig15|fig17|fig18|fig19|fig20|ablation|degraded] [-quick] [-seed N]
+//	experiments [-run all|fig8|fig11|fig15|fig17|fig18|fig19|fig20|ablation|degraded|migration] [-quick] [-seed N]
 //	            [-v | -log-level L] [-trace-out solver.jsonl]
 //	            [-metrics-out metrics.prom] [-cpuprofile f] [-memprofile f]
 //
@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	which := flag.String("run", "all", "experiment to run: all, fig8, fig11, fig15, fig17, fig18, fig19, fig20, ablation, degraded")
+	which := flag.String("run", "all", "experiment to run: all, fig8, fig11, fig15, fig17, fig18, fig19, fig20, ablation, degraded, migration")
 	quick := flag.Bool("quick", false, "reduced scale (coarse calibration, fewer queries)")
 	seed := flag.Int64("seed", 1, "replay and solver seed")
 	workers := flag.Int("workers", 0, "solver restart parallelism (0 = auto, 1 = serial); results are identical at any worker count")
@@ -157,6 +157,16 @@ func main() {
 		}
 		fmt.Println("Degraded-mode study — RAID5 reconstruction and failure-aware repair:")
 		fmt.Print(experiments.DegradedTable(res))
+		return nil
+	})
+
+	run("migration", func() error {
+		res, err := experiments.Migration(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Online-migration study — throttled deployment and failure evacuation:")
+		fmt.Print(experiments.MigrationTable(res))
 		return nil
 	})
 

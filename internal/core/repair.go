@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -36,6 +37,13 @@ type Repair struct {
 	// from redundancy or backup rather than reading it.
 	Plan      []layout.Move
 	PlanBytes int64
+	// PlanOrdered is Plan in a capacity-safe execution order (see
+	// layout.OrderPlan); executors should run this order. It is nil when
+	// no safe order exists without scratch-space staging, in which case
+	// PlanNeedsStaging is set and package migrate's BuildScript must
+	// stage the plan through a scratch reservation.
+	PlanOrdered      []layout.Move
+	PlanNeedsStaging bool
 	// SolveTime is the wall-clock time spent re-solving.
 	SolveTime time.Duration
 	// Degraded and Degradation mirror Recommendation: when set, Layout is
@@ -205,6 +213,14 @@ func RecommendRepair(ctx context.Context, inst *layout.Instance, current *layout
 		return nil, err
 	}
 	rep.PlanBytes = layout.PlanBytes(rep.Plan)
+	rep.PlanOrdered, err = layout.OrderPlan(current, rep.Plan, rinst.Sizes(), rinst.Capacities())
+	if err != nil {
+		var cyc *layout.CycleError
+		if !errors.As(err, &cyc) {
+			return nil, err
+		}
+		rep.PlanNeedsStaging = true
+	}
 	return rep, ctxErr
 }
 

@@ -227,6 +227,15 @@ func TestRecommendRepair(t *testing.T) {
 	if len(rep.Plan) == 0 || rep.PlanBytes <= 0 {
 		t.Fatal("repair of a loaded target produced an empty migration plan")
 	}
+	if rep.PlanNeedsStaging {
+		t.Fatal("repair with ample free capacity should not need scratch staging")
+	}
+	if len(rep.PlanOrdered) != len(rep.Plan) {
+		t.Fatalf("PlanOrdered has %d moves, Plan has %d", len(rep.PlanOrdered), len(rep.Plan))
+	}
+	if err := layout.CheckPlanOrder(current, rep.PlanOrdered, inst.Sizes(), inst.Capacities()); err != nil {
+		t.Fatalf("PlanOrdered is not capacity-safe: %v", err)
+	}
 	if rep.Degraded {
 		t.Fatalf("healthy repair marked degraded: %v", rep.Degradation)
 	}

@@ -166,6 +166,50 @@ func TestQuickAutoAdmin(t *testing.T) {
 	}
 }
 
+func TestQuickMigration(t *testing.T) {
+	cfg := NewQuickConfig()
+	res, err := Migration(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves <= 0 || res.Steps < res.Moves {
+		t.Fatalf("degenerate script: %d moves, %d steps", res.Moves, res.Steps)
+	}
+	if len(res.Scenarios) != len(migrationRates) {
+		t.Fatalf("got %d scenarios, want %d", len(res.Scenarios), len(migrationRates))
+	}
+	copied := res.Scenarios[0].CopiedMiB
+	for _, s := range res.Scenarios {
+		if s.Elapsed <= 0 || s.MigrationElapsed <= 0 {
+			t.Fatalf("%s: degenerate times %+v", s.Name, s)
+		}
+		if s.CopiedMiB != copied {
+			t.Errorf("%s: copied %.1f MiB, others copied %.1f (throttle must not change the payload)",
+				s.Name, s.CopiedMiB, copied)
+		}
+		if s.RateMiB > 0 && s.EffectiveMiB > s.RateMiB*1.05 {
+			t.Errorf("%s: effective rate %.1f MiB/s exceeds the throttle", s.Name, s.EffectiveMiB)
+		}
+	}
+	// A tighter throttle must stretch the copy.
+	last := res.Scenarios[len(res.Scenarios)-1]
+	if last.MigrationElapsed <= res.Scenarios[0].MigrationElapsed {
+		t.Errorf("throttled copy (%.0fs) not slower than unthrottled (%.0fs)",
+			last.MigrationElapsed, res.Scenarios[0].MigrationElapsed)
+	}
+	// The fault scenario must have aborted partway and evacuated the
+	// dead disk by reconstruction.
+	if res.FaultCommitted >= res.FaultSteps {
+		t.Errorf("fault came too late: %d/%d steps committed", res.FaultCommitted, res.FaultSteps)
+	}
+	if res.RepairMoves == 0 || res.ReconstructedMiB <= 0 {
+		t.Errorf("evacuation did not reconstruct: %d moves, %.1f MiB", res.RepairMoves, res.ReconstructedMiB)
+	}
+	if !strings.Contains(MigrationTable(res), "reconstruction") {
+		t.Error("MigrationTable missing content")
+	}
+}
+
 func TestQuickFig8(t *testing.T) {
 	cfg := NewQuickConfig()
 	series, err := Fig8CostSlice(cfg)

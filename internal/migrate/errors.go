@@ -1,0 +1,67 @@
+package migrate
+
+import (
+	"errors"
+	"fmt"
+
+	"dblayout/internal/layout"
+)
+
+// Sentinel errors. Callers (cmd/advisor) match these with errors.Is to map
+// migration outcomes to exit codes.
+var (
+	// ErrMigrationAborted reports that a migration stopped because a
+	// device failed mid-flight. The engine rolled the in-flight move back
+	// and left the system in a consistent layout (base plus committed
+	// moves); recovery proceeds by replanning, not by resuming.
+	ErrMigrationAborted = errors.New("migration aborted")
+
+	// ErrScratchExhausted reports that a plan's capacity cycles cannot be
+	// broken within the configured scratch-space budget.
+	ErrScratchExhausted = errors.New("migration scratch space exhausted")
+
+	// ErrJournalCorrupt reports that a migration journal failed
+	// validation (bad checksum, malformed record, or impossible state
+	// transition) somewhere other than a torn final line.
+	ErrJournalCorrupt = errors.New("migration journal corrupt")
+)
+
+// AbortError carries the detail of a fault-triggered abort. It unwraps to
+// ErrMigrationAborted.
+type AbortError struct {
+	Failed []int  // targets that failed
+	Reason string // what the engine observed
+}
+
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("migrate: aborted, targets %v failed: %s", e.Failed, e.Reason)
+}
+
+func (e *AbortError) Unwrap() error { return ErrMigrationAborted }
+
+// ScratchError reports the scratch shortfall that made a capacity cycle
+// unbreakable. It unwraps to ErrScratchExhausted.
+type ScratchError struct {
+	Cycle     *layout.CycleError // the deadlock needing staging (nil when the stall is acyclic)
+	NeedBytes int64              // smallest stage that would make progress
+	FreeBytes int64              // unused scratch reservation at the stall
+}
+
+func (e *ScratchError) Error() string {
+	return fmt.Sprintf("migrate: breaking the capacity cycle needs %d scratch bytes but only %d remain", e.NeedBytes, e.FreeBytes)
+}
+
+func (e *ScratchError) Unwrap() error { return ErrScratchExhausted }
+
+// CorruptError pinpoints a corrupt journal record. It unwraps to
+// ErrJournalCorrupt.
+type CorruptError struct {
+	Record int // zero-based index of the bad record
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("migrate: journal record %d: %s", e.Record, e.Reason)
+}
+
+func (e *CorruptError) Unwrap() error { return ErrJournalCorrupt }

@@ -1,0 +1,297 @@
+package migrate
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"strconv"
+)
+
+// StepState is the write-ahead state machine each step advances through.
+// Transitions are journaled before they take effect, so a journal replay
+// reconstructs exactly how far the migration got:
+//
+//	planned -> copying -> copied -> committed
+//	                   -> rolledback            (on a device fault)
+type StepState uint8
+
+const (
+	StatePlanned StepState = iota
+	StateCopying
+	StateCopied
+	StateCommitted
+	StateRolledBack
+)
+
+var stepStateNames = [...]string{"planned", "copying", "copied", "committed", "rolledback"}
+
+func (s StepState) String() string {
+	if int(s) < len(stepStateNames) {
+		return stepStateNames[s]
+	}
+	return fmt.Sprintf("StepState(%d)", uint8(s))
+}
+
+func parseStepState(name string) (StepState, bool) {
+	for i, n := range stepStateNames {
+		if n == name {
+			return StepState(i), true
+		}
+	}
+	return 0, false
+}
+
+// Record is one journal entry. The journal is a sequence of lines, each
+// "%08x %s\n": the IEEE CRC32 of the JSON body followed by the body. A
+// record is durable only once its newline is written, so a torn final line
+// is ignored on decode; corruption anywhere else is an error.
+type Record struct {
+	// T is the record type: "plan", "state", "progress", "abort", "done".
+	T string `json:"t"`
+
+	// plan: the full script this journal executes, written first.
+	Steps   []Step       `json:"steps,omitempty"`
+	Scratch *ScratchSpec `json:"scratch,omitempty"`
+
+	// state and progress records address a step by index.
+	Step  int    `json:"step,omitempty"`
+	State string `json:"state,omitempty"` // state: the new StepState
+	Done  int64  `json:"done,omitempty"`  // progress: bytes copied so far for Step
+
+	// abort: the migration stopped on a device fault.
+	Failed []int  `json:"failed,omitempty"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// journalWriter appends CRC-framed records to a sink. A nil writer (no
+// journal configured) accepts everything silently.
+type journalWriter struct {
+	w io.Writer
+}
+
+// append journals one record. Any write error — including a short write,
+// which leaves a torn line — is a crash from the engine's point of view.
+func (j *journalWriter) append(r Record) error {
+	if j == nil || j.w == nil {
+		return nil
+	}
+	body, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(j.w, "%08x %s\n", crc32.ChecksumIEEE(body), body)
+	return err
+}
+
+// DecodeJournal parses journal bytes into records. A torn final line (no
+// trailing newline, e.g. after a crash mid-write) is ignored; any other
+// malformation returns a *CorruptError wrapping ErrJournalCorrupt. It never
+// panics, regardless of input.
+func DecodeJournal(data []byte) ([]Record, error) {
+	var out []Record
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break // torn tail
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		rec, err := decodeLine(line, len(out))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// TruncateTorn returns the journal prefix ending at the last newline — the
+// durable records — discarding a torn final line left by a crash mid-write.
+// Resuming callers truncate the journal file likewise before appending, so
+// new records are never glued onto a torn line.
+func TruncateTorn(data []byte) []byte {
+	if i := bytes.LastIndexByte(data, '\n'); i >= 0 {
+		return data[:i+1]
+	}
+	return nil
+}
+
+func decodeLine(line []byte, idx int) (Record, error) {
+	corrupt := func(format string, args ...interface{}) (Record, error) {
+		return Record{}, &CorruptError{Record: idx, Reason: fmt.Sprintf(format, args...)}
+	}
+	if len(line) < 10 || line[8] != ' ' {
+		return corrupt("malformed line %q", truncate(line))
+	}
+	sum, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return corrupt("bad checksum field %q", string(line[:8]))
+	}
+	body := line[9:]
+	if got := crc32.ChecksumIEEE(body); got != uint32(sum) {
+		return corrupt("checksum mismatch: have %08x, body sums to %08x", uint32(sum), got)
+	}
+	var rec Record
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		return corrupt("bad JSON body: %v", err)
+	}
+	switch rec.T {
+	case "plan", "state", "progress", "abort", "done":
+	default:
+		return corrupt("unknown record type %q", rec.T)
+	}
+	return rec, nil
+}
+
+func truncate(b []byte) string {
+	const max = 40
+	if len(b) > max {
+		return string(b[:max]) + "..."
+	}
+	return string(b)
+}
+
+// Checkpoint is the durable state recovered from a journal: the script being
+// executed and how far each step got. An engine given a Checkpoint resumes
+// exactly there — committed steps are skipped, a copied step is re-committed
+// without recopying, and a copying step restarts from its last journaled
+// progress mark.
+type Checkpoint struct {
+	Steps    []Step
+	Scratch  ScratchSpec
+	State    []StepState
+	Progress []int64 // journaled copied-bytes per step (only meaningful while copying)
+	Aborted  bool
+	Failed   []int // failed targets, when Aborted
+	Done     bool
+}
+
+// CommittedSteps counts steps that reached StateCommitted.
+func (c *Checkpoint) CommittedSteps() int {
+	n := 0
+	for _, s := range c.State {
+		if s == StateCommitted {
+			n++
+		}
+	}
+	return n
+}
+
+// CommittedBytes sums the bytes of committed steps.
+func (c *Checkpoint) CommittedBytes() int64 {
+	var b int64
+	for i, s := range c.State {
+		if s == StateCommitted {
+			b += c.Steps[i].Move.Bytes
+		}
+	}
+	return b
+}
+
+// Recover replays decoded journal records into a Checkpoint, validating that
+// the record sequence is one the engine could have produced: a plan record
+// first, then monotone per-step state transitions with progress only while
+// copying, and nothing after an abort or done record. Violations return a
+// *CorruptError wrapping ErrJournalCorrupt.
+func Recover(records []Record) (*Checkpoint, error) {
+	corrupt := func(idx int, format string, args ...interface{}) (*Checkpoint, error) {
+		return nil, &CorruptError{Record: idx, Reason: fmt.Sprintf(format, args...)}
+	}
+	if len(records) == 0 {
+		return corrupt(0, "journal is empty (no plan record)")
+	}
+	var ck *Checkpoint
+	for i, r := range records {
+		if ck != nil && (ck.Aborted || ck.Done) {
+			return corrupt(i, "record after terminal %s", records[i-1].T)
+		}
+		if ck == nil {
+			if r.T != "plan" {
+				return corrupt(i, "journal starts with %q, want plan", r.T)
+			}
+			if err := validateSteps(r.Steps); err != nil {
+				return corrupt(i, "plan: %v", err)
+			}
+			ck = &Checkpoint{
+				Steps:    r.Steps,
+				State:    make([]StepState, len(r.Steps)),
+				Progress: make([]int64, len(r.Steps)),
+			}
+			if r.Scratch != nil {
+				ck.Scratch = *r.Scratch
+			}
+			continue
+		}
+		switch r.T {
+		case "plan":
+			return corrupt(i, "second plan record")
+		case "state":
+			if r.Step < 0 || r.Step >= len(ck.Steps) {
+				return corrupt(i, "state for step %d of %d", r.Step, len(ck.Steps))
+			}
+			next, ok := parseStepState(r.State)
+			if !ok {
+				return corrupt(i, "unknown state %q", r.State)
+			}
+			cur := ck.State[r.Step]
+			ok = (cur == StatePlanned && next == StateCopying) ||
+				(cur == StateCopying && (next == StateCopied || next == StateRolledBack)) ||
+				(cur == StateCopied && next == StateCommitted)
+			if !ok {
+				return corrupt(i, "step %d cannot go %v -> %v", r.Step, cur, next)
+			}
+			ck.State[r.Step] = next
+		case "progress":
+			if r.Step < 0 || r.Step >= len(ck.Steps) {
+				return corrupt(i, "progress for step %d of %d", r.Step, len(ck.Steps))
+			}
+			if ck.State[r.Step] != StateCopying {
+				return corrupt(i, "progress for step %d in state %v", r.Step, ck.State[r.Step])
+			}
+			if r.Done <= ck.Progress[r.Step] || r.Done > ck.Steps[r.Step].Move.Bytes {
+				return corrupt(i, "progress for step %d is %d, have %d of %d bytes",
+					r.Step, r.Done, ck.Progress[r.Step], ck.Steps[r.Step].Move.Bytes)
+			}
+			ck.Progress[r.Step] = r.Done
+		case "abort":
+			ck.Aborted = true
+			ck.Failed = r.Failed
+		case "done":
+			for s, st := range ck.State {
+				if st != StateCommitted && st != StateRolledBack {
+					return corrupt(i, "done with step %d still %v", s, st)
+				}
+			}
+			ck.Done = true
+		}
+	}
+	return ck, nil
+}
+
+// validateSteps sanity-checks a journaled script so a corrupt plan record
+// cannot drive the engine out of bounds.
+func validateSteps(steps []Step) error {
+	if len(steps) == 0 {
+		return fmt.Errorf("empty script")
+	}
+	for i, s := range steps {
+		if s.Kind > StepStageOut {
+			return fmt.Errorf("step %d has unknown kind %d", i, s.Kind)
+		}
+		m := s.Move
+		if m.Object < 0 || m.From < 0 || m.To < 0 || m.From == m.To {
+			return fmt.Errorf("step %d has degenerate move %+v", i, m)
+		}
+		if m.Bytes < 0 || m.Fraction < 0 || m.Fraction > 1+1e-6 {
+			return fmt.Errorf("step %d moves impossible volume (%d bytes, fraction %g)", i, m.Bytes, m.Fraction)
+		}
+		if s.MoveIndex < 0 {
+			return fmt.Errorf("step %d has negative move index", i)
+		}
+	}
+	return nil
+}

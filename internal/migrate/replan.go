@@ -1,0 +1,30 @@
+package migrate
+
+import (
+	"context"
+	"fmt"
+
+	"dblayout/internal/core"
+	"dblayout/internal/layout"
+)
+
+// Replan turns an aborted migration into a repair: it feeds the consistent
+// mid-migration layout the engine stopped in (base plus committed moves)
+// and the failed targets into core.RecommendRepair, then builds an
+// executable script for the repair plan. The script's moves may source from
+// failed targets; execute it with Options.FailedSources set to res.FailedTargets
+// so those reads become reconstruction writes.
+func Replan(ctx context.Context, inst *layout.Instance, res *Result, opt core.Options, scratch ScratchSpec) (*core.Repair, []Step, error) {
+	if res == nil || !res.Aborted {
+		return nil, nil, fmt.Errorf("migrate: replan needs an aborted migration result")
+	}
+	rep, err := core.RecommendRepair(ctx, inst, res.Layout, res.FailedTargets, opt)
+	if err != nil {
+		return rep, nil, err
+	}
+	steps, err := BuildScript(res.Layout, rep.Plan, inst.Sizes(), inst.Capacities(), scratch)
+	if err != nil {
+		return rep, nil, err
+	}
+	return rep, steps, nil
+}

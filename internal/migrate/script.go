@@ -1,0 +1,261 @@
+package migrate
+
+import (
+	"fmt"
+
+	"dblayout/internal/layout"
+)
+
+// StepKind classifies an executable migration step.
+type StepKind uint8
+
+const (
+	// StepDirect copies data straight from its plan source to its plan
+	// destination.
+	StepDirect StepKind = iota
+	// StepStageIn parks data on the scratch target to break a capacity
+	// cycle; a later StepStageOut for the same plan move completes it.
+	StepStageIn
+	// StepStageOut moves previously staged data from the scratch target
+	// to its plan destination.
+	StepStageOut
+)
+
+func (k StepKind) String() string {
+	switch k {
+	case StepDirect:
+		return "direct"
+	case StepStageIn:
+		return "stage-in"
+	case StepStageOut:
+		return "stage-out"
+	}
+	return fmt.Sprintf("StepKind(%d)", uint8(k))
+}
+
+// Step is one executable unit of a migration script. Each step is a single
+// copy-then-commit data movement; staged plan moves expand into a StageIn /
+// StageOut pair sharing the same MoveIndex.
+type Step struct {
+	Kind      StepKind    `json:"k"`
+	Move      layout.Move `json:"m"` // the movement this step performs (From/To already resolved for staging)
+	MoveIndex int         `json:"i"` // index of the originating move in the source plan
+}
+
+// ScratchSpec reserves part of a real target as staging space for breaking
+// capacity cycles. The reservation is modeled honestly: while data is
+// staged it occupies the scratch target in the layout matrix, so every
+// intermediate state of a migration is a valid, capacity-checked layout.
+type ScratchSpec struct {
+	Target int   `json:"target"`
+	Bytes  int64 `json:"bytes"`
+}
+
+// AutoScratch picks a scratch reservation for migrating between the two
+// layouts: half the largest byte headroom that exists on some target under
+// both endpoint layouts. A zero-Bytes spec means no target has slack — a
+// deadlocked plan between such layouts is unexecutable.
+func AutoScratch(from, to *layout.Layout, sizes, capacities []int64) ScratchSpec {
+	best, bestBytes := -1, int64(0)
+	for j := 0; j < len(capacities); j++ {
+		free := float64(capacities[j]) - from.TargetBytes(j, sizes)
+		if f := float64(capacities[j]) - to.TargetBytes(j, sizes); f < free {
+			free = f
+		}
+		if b := int64(free); b > bestBytes {
+			best, bestBytes = j, b
+		}
+	}
+	if best < 0 {
+		return ScratchSpec{}
+	}
+	return ScratchSpec{Target: best, Bytes: bestBytes / 2}
+}
+
+// BuildScript turns a migration plan into an executable step sequence whose
+// intermediate states never exceed any target's capacity under
+// copy-then-commit semantics. Plans with a safe order become direct steps in
+// that order; capacity cycles are broken by staging the smallest deadlocked
+// move through the scratch reservation. It returns a *layout.CycleError when
+// a cycle exists but no scratch was configured, a *ScratchError (unwrapping
+// to ErrScratchExhausted) when the reservation is too small, and a
+// *layout.PlanOverflowError when some move can never fit regardless of
+// order.
+func BuildScript(from *layout.Layout, plan []layout.Move, sizes, capacities []int64, scratch ScratchSpec) ([]Step, error) {
+	ordered, err := layout.OrderPlan(from, plan, sizes, capacities)
+	if err == nil {
+		steps := make([]Step, len(ordered))
+		at := indexPlan(plan)
+		for i, m := range ordered {
+			steps[i] = Step{Kind: StepDirect, Move: m, MoveIndex: at[m]}
+		}
+		return steps, nil
+	}
+	var cyc *layout.CycleError
+	if !asCycle(err, &cyc) {
+		return nil, err
+	}
+	if scratch.Bytes <= 0 {
+		return nil, cyc
+	}
+	return stageScript(from, plan, sizes, capacities, scratch)
+}
+
+// indexPlan maps each move back to its index in the plan. Duplicate moves
+// (identical in every field) are interchangeable, so first-wins is fine.
+func indexPlan(plan []layout.Move) map[layout.Move]int {
+	at := make(map[layout.Move]int, len(plan))
+	for i := len(plan) - 1; i >= 0; i-- {
+		at[plan[i]] = i
+	}
+	return at
+}
+
+func asCycle(err error, out **layout.CycleError) bool {
+	c, ok := err.(*layout.CycleError)
+	if ok {
+		*out = c
+	}
+	return ok
+}
+
+// stageScript runs the greedy ordering with scratch staging: prefer
+// completing staged moves (frees scratch), then direct moves, and on a
+// deadlock stage the smallest stalled move that fits the remaining scratch
+// reservation.
+func stageScript(from *layout.Layout, plan []layout.Move, sizes, capacities []int64, scratch ScratchSpec) ([]Step, error) {
+	if scratch.Target < 0 || scratch.Target >= from.M {
+		return nil, fmt.Errorf("migrate: scratch target %d outside [0,%d)", scratch.Target, from.M)
+	}
+	occ := make([]float64, from.M)
+	for j := 0; j < from.M; j++ {
+		occ[j] = from.TargetBytes(j, sizes)
+	}
+	scratchFree := scratch.Bytes
+	if occ[scratch.Target]+float64(scratch.Bytes) > float64(capacities[scratch.Target])+planSlack {
+		return nil, fmt.Errorf("migrate: scratch reservation of %d bytes does not fit on target %d (%d of %d bytes used)",
+			scratch.Bytes, scratch.Target, int64(occ[scratch.Target]), capacities[scratch.Target])
+	}
+	// free reports placeable bytes on target j for ordinary copies; the
+	// unused part of the scratch reservation is off-limits to them.
+	free := func(j int) float64 {
+		f := float64(capacities[j]) - occ[j]
+		if j == scratch.Target {
+			f -= float64(scratchFree)
+		}
+		return f
+	}
+
+	pending := make([]int, len(plan)) // plan indices not yet started
+	for i := range pending {
+		pending[i] = i
+	}
+	var parked []int // plan indices staged on scratch, awaiting stage-out
+	var script []Step
+	for len(pending)+len(parked) > 0 {
+		// 1. Complete a staged move whose destination now has room.
+		staged := -1
+		for pi, idx := range parked {
+			if float64(plan[idx].Bytes) <= free(plan[idx].To)+planSlack {
+				staged = pi
+				break
+			}
+		}
+		if staged >= 0 {
+			idx := parked[staged]
+			m := plan[idx]
+			script = append(script, Step{
+				Kind:      StepStageOut,
+				Move:      layout.Move{Object: m.Object, From: scratch.Target, To: m.To, Fraction: m.Fraction, Bytes: m.Bytes},
+				MoveIndex: idx,
+			})
+			occ[m.To] += float64(m.Bytes)
+			occ[scratch.Target] -= float64(m.Bytes)
+			scratchFree += m.Bytes
+			parked = append(parked[:staged], parked[staged+1:]...)
+			continue
+		}
+		// 2. Run a direct move that fits.
+		direct := -1
+		for pi, idx := range pending {
+			if float64(plan[idx].Bytes) <= free(plan[idx].To)+planSlack {
+				direct = pi
+				break
+			}
+		}
+		if direct >= 0 {
+			idx := pending[direct]
+			m := plan[idx]
+			script = append(script, Step{Kind: StepDirect, Move: m, MoveIndex: idx})
+			occ[m.To] += float64(m.Bytes)
+			occ[m.From] -= float64(m.Bytes)
+			pending = append(pending[:direct], pending[direct+1:]...)
+			continue
+		}
+		// 3. Deadlock: stage the smallest stalled move that fits the
+		// remaining reservation. The staged copy always fits physically
+		// because staged bytes only ever consume the reservation.
+		cyc := layout.PlanCycle(plan, pending)
+		stage, need := -1, int64(0)
+		for pi, idx := range pending {
+			b := plan[idx].Bytes
+			if need == 0 || b < need {
+				need = b
+			}
+			if b <= scratchFree && (stage < 0 || b < plan[pending[stage]].Bytes) {
+				stage = pi
+			}
+		}
+		if stage < 0 {
+			if cyc == nil && len(pending) > 0 {
+				m := plan[pending[0]]
+				return nil, &layout.PlanOverflowError{
+					Step: pending[0], Move: m, NeedBytes: m.Bytes,
+					FreeBytes: int64(free(m.To)),
+				}
+			}
+			return nil, &ScratchError{Cycle: cyc, NeedBytes: need, FreeBytes: scratchFree}
+		}
+		idx := pending[stage]
+		m := plan[idx]
+		script = append(script, Step{
+			Kind:      StepStageIn,
+			Move:      layout.Move{Object: m.Object, From: m.From, To: scratch.Target, Fraction: m.Fraction, Bytes: m.Bytes},
+			MoveIndex: idx,
+		})
+		occ[scratch.Target] += float64(m.Bytes)
+		occ[m.From] -= float64(m.Bytes)
+		scratchFree -= m.Bytes
+		pending = append(pending[:stage], pending[stage+1:]...)
+		parked = append(parked, idx)
+	}
+	return script, nil
+}
+
+// planSlack is the byte tolerance used when comparing float occupancies
+// against integer capacities, mirroring the one in package layout.
+const planSlack = 0.5
+
+// ScriptBytes sums the data volume a script copies, counting staged moves
+// twice (once into scratch, once out).
+func ScriptBytes(steps []Step) int64 {
+	var total int64
+	for _, s := range steps {
+		total += s.Move.Bytes
+	}
+	return total
+}
+
+// applyStep commits a step's movement to the layout matrix.
+func applyStep(l *layout.Layout, s Step) {
+	m := s.Move
+	l.Set(m.Object, m.From, clampFrac(l.At(m.Object, m.From)-m.Fraction))
+	l.Set(m.Object, m.To, l.At(m.Object, m.To)+m.Fraction)
+}
+
+func clampFrac(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,168 @@
+package migrate
+
+import (
+	"errors"
+	"testing"
+
+	"dblayout/internal/layout"
+)
+
+// checkScriptSafe simulates a script under copy-then-commit semantics and
+// fails the test if any intermediate state exceeds a target's capacity or
+// the final occupancies disagree with applying every step.
+func checkScriptSafe(t *testing.T, from *layout.Layout, steps []Step, sizes, caps []int64) {
+	t.Helper()
+	occ := make([]float64, from.M)
+	for j := 0; j < from.M; j++ {
+		occ[j] = from.TargetBytes(j, sizes)
+	}
+	for i, s := range steps {
+		m := s.Move
+		if float64(m.Bytes) > float64(caps[m.To])-occ[m.To]+planSlack {
+			t.Fatalf("step %d (%s %+v) transiently overflows target %d", i, s.Kind, m, m.To)
+		}
+		occ[m.To] += float64(m.Bytes)
+		occ[m.From] -= float64(m.Bytes)
+	}
+	for j := range occ {
+		if occ[j] > float64(caps[j])+planSlack || occ[j] < -planSlack {
+			t.Fatalf("final occupancy of target %d is %g of %d", j, occ[j], caps[j])
+		}
+	}
+}
+
+// rotation builds the 3-object full-capacity rotation (a pure capacity
+// cycle) plus a fourth, roomier target usable as scratch.
+func rotation(t *testing.T) (from *layout.Layout, plan []layout.Move, sizes, caps []int64) {
+	t.Helper()
+	const sz = 100
+	sizes = []int64{sz, sz, sz}
+	caps = []int64{sz, sz, sz, 250}
+	from = layout.New(3, 4)
+	to := layout.New(3, 4)
+	for i := 0; i < 3; i++ {
+		from.Set(i, i, 1)
+		to.Set(i, (i+1)%3, 1)
+	}
+	plan, err := layout.MigrationPlan(from, to, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return from, plan, sizes, caps
+}
+
+func TestBuildScriptDirectWhenOrderable(t *testing.T) {
+	from, plan, sizes, caps := rotation(t)
+	caps[0] = 300 // target 0 roomy: plain reordering suffices
+	steps, err := BuildScript(from, plan, sizes, caps, ScratchSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != len(plan) {
+		t.Fatalf("%d steps for %d moves", len(steps), len(plan))
+	}
+	for _, s := range steps {
+		if s.Kind != StepDirect {
+			t.Fatalf("reorderable plan produced %s step", s.Kind)
+		}
+	}
+	checkScriptSafe(t, from, steps, sizes, caps)
+}
+
+func TestBuildScriptStagesCycle(t *testing.T) {
+	from, plan, sizes, caps := rotation(t)
+	steps, err := BuildScript(from, plan, sizes, caps, ScratchSpec{Target: 3, Bytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != len(plan)+1 {
+		t.Fatalf("staged script has %d steps, want %d (one staged pair)", len(steps), len(plan)+1)
+	}
+	ins, outs := 0, 0
+	var inIdx, outIdx, inPos, outPos int
+	for i, s := range steps {
+		switch s.Kind {
+		case StepStageIn:
+			ins++
+			inIdx, inPos = s.MoveIndex, i
+			if s.Move.To != 3 {
+				t.Fatalf("stage-in targets %d, want scratch target 3", s.Move.To)
+			}
+		case StepStageOut:
+			outs++
+			outIdx, outPos = s.MoveIndex, i
+			if s.Move.From != 3 {
+				t.Fatalf("stage-out reads from %d, want scratch target 3", s.Move.From)
+			}
+		}
+	}
+	if ins != 1 || outs != 1 || inIdx != outIdx || inPos >= outPos {
+		t.Fatalf("staging malformed: %d ins (move %d at %d), %d outs (move %d at %d)",
+			ins, inIdx, inPos, outs, outIdx, outPos)
+	}
+	checkScriptSafe(t, from, steps, sizes, caps)
+}
+
+func TestBuildScriptWithoutScratchReportsCycle(t *testing.T) {
+	from, plan, sizes, caps := rotation(t)
+	_, err := BuildScript(from, plan, sizes, caps, ScratchSpec{})
+	var cyc *layout.CycleError
+	if !errors.As(err, &cyc) {
+		t.Fatalf("BuildScript = %v, want *layout.CycleError", err)
+	}
+	if len(cyc.Objects) != 3 {
+		t.Fatalf("cycle names %v, want all 3 objects", cyc.Objects)
+	}
+}
+
+func TestBuildScriptScratchExhausted(t *testing.T) {
+	from, plan, sizes, caps := rotation(t)
+	_, err := BuildScript(from, plan, sizes, caps, ScratchSpec{Target: 3, Bytes: 60})
+	if !errors.Is(err, ErrScratchExhausted) {
+		t.Fatalf("BuildScript = %v, want ErrScratchExhausted", err)
+	}
+	var se *ScratchError
+	if !errors.As(err, &se) || se.NeedBytes != 100 || se.FreeBytes != 60 {
+		t.Fatalf("shortfall detail wrong: %+v", se)
+	}
+	if se.Cycle == nil {
+		t.Fatal("scratch error lost the cycle diagnosis")
+	}
+}
+
+func TestBuildScriptScratchMustFit(t *testing.T) {
+	from, plan, sizes, caps := rotation(t)
+	// Target 3 has 250 capacity and is empty; a 300-byte reservation
+	// cannot be honoured.
+	if _, err := BuildScript(from, plan, sizes, caps, ScratchSpec{Target: 3, Bytes: 300}); err == nil {
+		t.Fatal("oversized scratch reservation accepted")
+	}
+	if _, err := BuildScript(from, plan, sizes, caps, ScratchSpec{Target: 9, Bytes: 10}); err == nil {
+		t.Fatal("out-of-range scratch target accepted")
+	}
+}
+
+func TestAutoScratch(t *testing.T) {
+	from, plan, sizes, caps := rotation(t)
+	to := layout.New(3, 4)
+	for i := 0; i < 3; i++ {
+		to.Set(i, (i+1)%3, 1)
+	}
+	spec := AutoScratch(from, to, sizes, caps)
+	if spec.Target != 3 {
+		t.Fatalf("AutoScratch picked target %d, want the empty target 3", spec.Target)
+	}
+	if spec.Bytes != 125 {
+		t.Fatalf("AutoScratch reserved %d bytes, want half the 250-byte headroom", spec.Bytes)
+	}
+	steps, err := BuildScript(from, plan, sizes, caps, spec)
+	if err != nil {
+		t.Fatalf("BuildScript with auto scratch: %v", err)
+	}
+	checkScriptSafe(t, from, steps, sizes, caps)
+
+	// No headroom anywhere: AutoScratch must admit defeat.
+	if spec := AutoScratch(from, to, sizes, caps[:3]); spec.Bytes != 0 {
+		t.Fatalf("AutoScratch invented scratch space: %+v", spec)
+	}
+}

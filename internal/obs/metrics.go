@@ -152,6 +152,19 @@ func LatencyBuckets() []float64 {
 	return bounds
 }
 
+// ByteBuckets returns exponential bounds suited to data-movement sizes:
+// 64 KiB to 4 GiB, quadrupling — matching the range from a single migration
+// chunk up to a whole-object move.
+func ByteBuckets() []float64 {
+	bounds := make([]float64, 9)
+	v := float64(64 << 10)
+	for i := range bounds {
+		bounds[i] = v
+		v *= 4
+	}
+	return bounds
+}
+
 // Observe records one value. No-op on a nil histogram.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {

@@ -198,3 +198,22 @@ func TestNameComposition(t *testing.T) {
 		t.Fatalf("Name = %q", got)
 	}
 }
+
+func TestBucketHelpersAreValidBounds(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"latency": LatencyBuckets(),
+		"bytes":   ByteBuckets(),
+	} {
+		if len(bounds) == 0 {
+			t.Fatalf("%s buckets empty", name)
+		}
+		// NewHistogram panics on non-increasing bounds; surviving this
+		// call is the contract.
+		h := NewHistogram(bounds)
+		h.Observe(bounds[0])
+		h.Observe(2 * bounds[len(bounds)-1])
+		if got := h.Snapshot().Count; got != 2 {
+			t.Fatalf("%s: count = %d, want 2", name, got)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package replay
+
+import (
+	"testing"
+
+	"dblayout/internal/layout"
+	"dblayout/internal/storage"
+)
+
+func backgroundTestSystem() (*System, *layout.Layout) {
+	cfg := storage.Disk15KConfig()
+	cfg.CapacityBytes = 64 << 20
+	sys := &System{
+		Objects: []layout.Object{
+			{Name: "A", Size: 8 << 20},
+			{Name: "B", Size: 8 << 20},
+		},
+		Devices: []DeviceSpec{
+			{Name: "d0", Disk: &cfg},
+			{Name: "d1", Disk: &cfg},
+		},
+	}
+	l := layout.New(2, 2)
+	l.Set(0, 0, 1)
+	l.Set(1, 1, 1)
+	return sys, l
+}
+
+// TestRunIdleBackground drives a plain sequential background copy (read from
+// d0, write to d1) and checks the I/O lands on the devices and in the
+// attributed object's latency histogram.
+func TestRunIdleBackground(t *testing.T) {
+	sys, l := backgroundTestSystem()
+	const chunk = 128 << 10
+	const chunks = 16
+	issued := 0
+	opt := Options{
+		Seed: 1,
+		Background: func(io *BackgroundIO) {
+			if io.Devices() != 2 {
+				t.Errorf("Devices() = %d, want 2", io.Devices())
+			}
+			if io.DeviceName(0) != "d0" || io.Capacity(1) != 64<<20 {
+				t.Errorf("device metadata wrong: %q cap %d", io.DeviceName(0), io.Capacity(1))
+			}
+			rs, ws := io.NewStream(), io.NewStream()
+			var copyChunk func()
+			copyChunk = func() {
+				if issued >= chunks {
+					return
+				}
+				off := int64(issued) * chunk
+				issued++
+				io.Submit(0, 0, rs, off, chunk, false, func(failed bool) {
+					if failed {
+						t.Error("unexpected read failure")
+					}
+					io.Submit(1, 0, ws, off, chunk, true, func(failed bool) {
+						if failed {
+							t.Error("unexpected write failure")
+						}
+						copyChunk()
+					})
+				})
+			}
+			copyChunk()
+		},
+	}
+	res, err := RunIdle(sys, l, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issued != chunks {
+		t.Fatalf("issued %d chunks, want %d", issued, chunks)
+	}
+	if res.Requests != 2*chunks {
+		t.Errorf("submitted %d requests, want %d", res.Requests, 2*chunks)
+	}
+	if got := res.DeviceStats[0].BytesRead; got != chunks*chunk {
+		t.Errorf("d0 read %d bytes, want %d", got, chunks*chunk)
+	}
+	if got := res.DeviceStats[1].BytesWritten; got != chunks*chunk {
+		t.Errorf("d1 wrote %d bytes, want %d", got, chunks*chunk)
+	}
+	// All requests were attributed to object 0.
+	if n := res.ObjectLatency[0].Count; n != 2*chunks {
+		t.Errorf("object 0 latency histogram has %d observations, want %d", n, 2*chunks)
+	}
+	if n := res.ObjectLatency[1].Count; n != 0 {
+		t.Errorf("object 1 latency histogram has %d observations, want 0", n)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("no simulated time elapsed")
+	}
+}
+
+// TestBackgroundSeesFaults checks a background request against a failed
+// device reports failure through the done callback.
+func TestBackgroundSeesFaults(t *testing.T) {
+	sys, l := backgroundTestSystem()
+	sys.Devices[1].Faults = &storage.FaultSchedule{Fail: &storage.FailFault{At: 0}}
+	var sawFail bool
+	opt := Options{
+		Seed: 1,
+		Background: func(io *BackgroundIO) {
+			s := io.NewStream()
+			io.Submit(1, -1, s, 0, 128<<10, true, func(failed bool) {
+				sawFail = failed
+			})
+		},
+	}
+	if _, err := RunIdle(sys, l, opt); err != nil {
+		t.Fatal(err)
+	}
+	if !sawFail {
+		t.Error("write to failed device did not report failure")
+	}
+}
+
+func TestRunIdleRequiresBackground(t *testing.T) {
+	sys, l := backgroundTestSystem()
+	if _, err := RunIdle(sys, l, Options{Seed: 1}); err == nil {
+		t.Error("RunIdle without a background driver should error")
+	}
+}

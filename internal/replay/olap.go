@@ -41,6 +41,13 @@ type Options struct {
 	// Logger, when non-nil, receives a run-completion summary. Nil
 	// disables logging.
 	Logger *slog.Logger
+	// Background, when non-nil, is invoked once the system is built and
+	// the foreground workload (if any) is scheduled, handing the driver a
+	// BackgroundIO through which it injects its own I/O — e.g. an online
+	// migration's throttled copy stream — into the same simulation.
+	// Honoured by RunOLAP and RunIdle (RunOLTP and RunConsolidated run to
+	// a fixed horizon and would truncate background work arbitrarily).
+	Background func(*BackgroundIO)
 }
 
 func (o Options) withDefaults() Options {
@@ -427,6 +434,7 @@ func RunOLAP(sys *System, l *layout.Layout, w *benchdb.OLAPWorkload, opt Options
 	if qerr != nil {
 		return nil, qerr
 	}
+	r.startBackground()
 
 	elapsed := r.eng.Run(opt.MaxSimTime)
 	if next < len(queries) || active > 0 {
