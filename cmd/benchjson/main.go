@@ -1,0 +1,112 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// array, one element per benchmark result line, for machine-readable CI
+// artifacts (e.g. the solver bench smoke's BENCH_5.json):
+//
+//	go test -run '^$' -bench . -benchmem ./internal/nlp/ | benchjson -o BENCH_5.json
+//
+// Lines that are not benchmark results (headers, PASS/ok trailers) are
+// ignored. ns/op is always present; B/op and allocs/op appear when the
+// benchmark ran with -benchmem or called b.ReportAllocs, and are emitted as
+// null otherwise.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+// parseLine parses one benchmark result line, e.g.
+//
+//	BenchmarkMoveScoring/incremental-4  2921560  905.1 ns/op  0 B/op  0 allocs/op
+//
+// returning ok=false for anything else.
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+			seen = true
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsPerOp = &a
+		}
+	}
+	if !seen {
+		return result{}, false
+	}
+	return r, true
+}
+
+func run(in io.Reader, out io.Writer) error {
+	var results []result
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark result lines found in input")
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+func main() {
+	outPath := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	// Echo the input so the human-readable bench output still shows in CI
+	// logs while the JSON artifact is written.
+	in := io.TeeReader(os.Stdin, os.Stderr)
+	if err := run(in, out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -80,8 +80,11 @@ func PlaceIncrementalContext(ctx context.Context, inst *layout.Instance, current
 	}
 	sizes := inst.Sizes()
 	caps := inst.Capacities()
+	// One incremental kernel prices the whole greedy pass: each placement
+	// reads cached utilizations and updates only the receiving target,
+	// instead of re-evaluating every target per object.
+	inc := ev.NewIncremental(l)
 	for _, i := range order {
-		utils := ev.Utilizations(l)
 		best := -1
 		for j := 0; j < l.M; j++ {
 			if !inst.Constraints.Permits(i, j) {
@@ -93,7 +96,7 @@ func PlaceIncrementalContext(ctx context.Context, inst *layout.Instance, current
 			if sharesSeparatedRow(inst.Constraints, l, i, j) {
 				continue
 			}
-			if best < 0 || utils[j] < utils[best] {
+			if best < 0 || inc.Utilization(j) < inc.Utilization(best) {
 				best = j
 			}
 		}
@@ -103,7 +106,7 @@ func PlaceIncrementalContext(ctx context.Context, inst *layout.Instance, current
 		}
 		row := make([]float64, l.M)
 		row[best] = 1
-		l.SetRow(i, row)
+		inc.SetObjectRow(i, row)
 	}
 
 	// Local optimization over the new rows only.

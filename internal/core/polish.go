@@ -18,7 +18,8 @@ func PolishRegular(ev *layout.Evaluator, inst *layout.Instance, l *layout.Layout
 	cur := l.Clone()
 	sizes := inst.Sizes()
 	caps := inst.Capacities()
-	utils := ev.Utilizations(cur)
+	inc := ev.NewIncremental(cur)
+	utils := inc.Utilizations(nil)
 
 	const maxPasses = 8
 	for pass := 0; pass < maxPasses; pass++ {
@@ -39,7 +40,7 @@ func PolishRegular(ev *layout.Evaluator, inst *layout.Instance, l *layout.Layout
 					!constraintsOK(inst, cur, i, cand) {
 					continue
 				}
-				newUtils, obj := evalCandidate(ev, cur, utils, i, oldRow, cand)
+				newUtils, obj := evalCandidate(inc, utils, i, oldRow, cand)
 				sum := sumOf(newUtils)
 				if obj < bestMax-1e-12 || (obj < bestMax+1e-12 && sum < bestSum-1e-9) {
 					bestMax, bestSum = obj, sum
@@ -48,7 +49,7 @@ func PolishRegular(ev *layout.Evaluator, inst *layout.Instance, l *layout.Layout
 				}
 			}
 			if bestRow != nil {
-				cur.SetRow(i, bestRow)
+				inc.SetObjectRow(i, bestRow)
 				utils = bestUtils
 				improved = true
 			}

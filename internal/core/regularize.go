@@ -43,7 +43,11 @@ func Regularize(ev *layout.Evaluator, inst *layout.Instance, solved *layout.Layo
 	}
 	sort.SliceStable(order, func(a, b int) bool { return loads[order[a]] > loads[order[b]] })
 
-	utils := ev.Utilizations(l)
+	// A candidate row changes only the targets whose own cell changes, so
+	// the incremental kernel prices each candidate in O(changed targets *
+	// active objects) against the current partially-regularized layout.
+	inc := ev.NewIncremental(l)
+	utils := inc.Utilizations(nil)
 
 	for _, i := range order {
 		if l.RowRegular(i) {
@@ -62,7 +66,7 @@ func Regularize(ev *layout.Evaluator, inst *layout.Instance, solved *layout.Layo
 			if !capacityOK(l, i, cand, sizes, caps) || !constraintsOK(inst, l, i, cand) {
 				continue
 			}
-			newUtils, obj := evalCandidate(ev, l, utils, i, oldRow, cand)
+			newUtils, obj := evalCandidate(inc, utils, i, oldRow, cand)
 			if bestObj < 0 || obj < bestObj {
 				bestObj = obj
 				bestRow = cand
@@ -73,7 +77,7 @@ func Regularize(ev *layout.Evaluator, inst *layout.Instance, solved *layout.Layo
 			return nil, fmt.Errorf("no valid regular layout for object %q: space constraints too tight",
 				inst.Objects[i].Name)
 		}
-		l.SetRow(i, bestRow)
+		inc.SetObjectRow(i, bestRow)
 		utils = bestUtils
 	}
 	if !l.IsRegular() {
@@ -161,17 +165,16 @@ func capacityOK(l *layout.Layout, i int, cand []float64, sizes, caps []int64) bo
 }
 
 // evalCandidate computes the utilizations and max-utilization objective that
-// would result from replacing object i's row with cand, re-evaluating only
-// the targets whose workload set changes.
-func evalCandidate(ev *layout.Evaluator, l *layout.Layout, utils []float64, i int, oldRow, cand []float64) ([]float64, float64) {
-	l.SetRow(i, cand)
+// would result from replacing object i's row with cand, delta-scoring only
+// the targets whose workload set changes — no mutate-evaluate-revert round
+// trip on the layout.
+func evalCandidate(inc *layout.IncrementalEvaluator, utils []float64, i int, oldRow, cand []float64) ([]float64, float64) {
 	newUtils := append([]float64(nil), utils...)
 	for j := range cand {
 		if oldRow[j] != cand[j] {
-			newUtils[j] = ev.TargetUtilization(l, j)
+			newUtils[j] = inc.ScoreObjectFrac(j, i, cand[j])
 		}
 	}
-	l.SetRow(i, oldRow)
 
 	obj := 0.0
 	for _, u := range newUtils {

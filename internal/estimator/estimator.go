@@ -193,17 +193,38 @@ func EstimateOLAP(w *benchdb.OLAPWorkload, d DeviceAssumptions) (*rome.Set, erro
 			if wl.Concurrency < 1 {
 				wl.Concurrency = 1
 			}
-			for k := range acc {
-				if i != k && a.activeTime > 0 {
-					ov := a.coActive[k] / a.activeTime
-					if ov > 1 {
-						ov = 1
-					}
-					wl.Overlap[k] = ov
-				}
-			}
 		}
 		ws[i] = wl
+	}
+	// Overlap is a property of the *pair*, so normalize the shared co-active
+	// time by the longer of the two active times and assign both matrix
+	// entries from the one computation. Normalizing each row by its own
+	// active time (the previous behaviour) made Overlap(i,k) != Overlap(k,i)
+	// whenever the objects' activity durations differed, which rome.Set now
+	// rejects as it would make the Eq. 2 contention factor
+	// direction-dependent.
+	for i := range acc {
+		if acc[i].reads+acc[i].writes <= 0 {
+			continue
+		}
+		for k := i + 1; k < n; k++ {
+			if acc[k].reads+acc[k].writes <= 0 {
+				continue
+			}
+			at := acc[i].activeTime
+			if acc[k].activeTime > at {
+				at = acc[k].activeTime
+			}
+			if at <= 0 {
+				continue
+			}
+			ov := acc[i].coActive[k] / at
+			if ov > 1 {
+				ov = 1
+			}
+			ws[i].Overlap[k] = ov
+			ws[k].Overlap[i] = ov
+		}
 	}
 	return rome.NewSet(ws...)
 }
@@ -294,19 +315,17 @@ func EstimateOLTP(w *benchdb.OLTPWorkload, d DeviceAssumptions) (*rome.Set, erro
 		}
 		ws[i] = wl
 	}
-	set, err := rome.NewSet(ws...)
-	if err != nil {
-		return nil, err
-	}
-	// Zero out overlaps against idle objects.
-	for i, wl := range set.Workloads {
-		for k := range set.Workloads {
-			if set.Workloads[k].Idle() && i != k {
+	// Zero out overlaps against idle objects (before validation: an idle
+	// object's vector is all zero, so a non-zero entry pointing at it would
+	// be rejected as asymmetric).
+	for i, wl := range ws {
+		for k := range ws {
+			if ws[k].Idle() && i != k {
 				wl.Overlap[k] = 0
 			}
 		}
 	}
-	return set, nil
+	return rome.NewSet(ws...)
 }
 
 // Merge combines estimates for workloads that run concurrently on the same

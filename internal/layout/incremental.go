@@ -1,0 +1,321 @@
+package layout
+
+import "fmt"
+
+// IncrementalEvaluator is a delta-evaluation kernel for the utilization model
+// of Eq. 1/Eq. 2, bound to one live Layout. Where the naive Evaluator prices a
+// candidate move with two full target evaluations — each O(N) in per-object
+// rates plus an O(N) contention scan per active object — the kernel caches,
+// per target j:
+//
+//   - the request-rate vector lambda_kj = totalRate_k * L[k][j],
+//   - the contention sums S_ij = sum_{k != i} lambda_kj * Overlap(i, k),
+//   - the list of active objects (non-zero assignment), kept in ascending
+//     object order so summation order is reproducible,
+//   - the current utilization mu_j,
+//
+// and scores a candidate move against the cached state in O(active objects on
+// the two affected targets), with zero allocations. The transfer formulation's
+// promise that "a move only requires re-evaluating the two affected targets"
+// thus drops from O(N^2) to O(active) per move.
+//
+// The kernel agrees with the naive Evaluator to within 1e-9 on every target
+// utilization (see DESIGN.md, "Evaluation-kernel tolerance contract"): exact
+// agreement is impossible because the incremental contention sums accumulate
+// in move order rather than object order, but the drift is bounded by a few
+// ULPs per applied move and the differential property test in
+// incremental_test.go pins the tolerance.
+//
+// An IncrementalEvaluator owns its Layout's mutations: callers must route all
+// changes through Apply/SetObjectRow and must not modify the layout directly
+// while the kernel is live. It is not safe for concurrent use.
+type IncrementalEvaluator struct {
+	ev *Evaluator
+	l  *Layout
+	n  int
+	m  int
+
+	// ov is the dense row-major overlap matrix: ov[i*n+k] = Overlap(i, k),
+	// shared with the parent evaluator (read-only).
+	ov []float64
+
+	lam [][]float64 // lam[j][i] = totalRate[i] * L[i][j]; 0 when inactive
+	con [][]float64 // con[j][i] = S_ij; stale while i is inactive on j
+	act [][]int     // act[j]: objects with L[i][j] != 0, ascending
+	pos [][]int     // pos[j][i]: index of i in act[j], or -1
+	mu  []float64   // mu[j]: cached utilization of target j
+}
+
+// NewIncremental binds a delta-evaluation kernel to l, building the cached
+// per-target state in one full O(M*N + M*A^2) pass (A = active objects per
+// target). The layout's dimensions must match the evaluator's instance; the
+// kernel owns l's mutations from here on.
+func (ev *Evaluator) NewIncremental(l *Layout) *IncrementalEvaluator {
+	n, m := ev.inst.N(), ev.inst.M()
+	if l.N != n || l.M != m {
+		panic(fmt.Sprintf("layout: %dx%d layout for a %dx%d incremental evaluator", l.N, l.M, n, m))
+	}
+	q := &IncrementalEvaluator{
+		ev:  ev,
+		l:   l,
+		n:   n,
+		m:   m,
+		ov:  ev.overlapMatrix(),
+		lam: make([][]float64, m),
+		con: make([][]float64, m),
+		act: make([][]int, m),
+		pos: make([][]int, m),
+		mu:  make([]float64, m),
+	}
+	for j := 0; j < m; j++ {
+		q.lam[j] = make([]float64, n)
+		q.con[j] = make([]float64, n)
+		q.pos[j] = make([]int, n)
+		q.act[j] = make([]int, 0, n)
+		q.rebuildTarget(j)
+	}
+	return q
+}
+
+// Layout returns the live layout the kernel is bound to. Callers may read it
+// freely but must route mutations through the kernel.
+func (q *IncrementalEvaluator) Layout() *Layout { return q.l }
+
+// rebuildTarget recomputes target j's cached state from the layout alone.
+func (q *IncrementalEvaluator) rebuildTarget(j int) {
+	ev := q.ev
+	q.act[j] = q.act[j][:0]
+	for i := 0; i < q.n; i++ {
+		q.pos[j][i] = -1
+		q.lam[j][i] = 0
+	}
+	for i := 0; i < q.n; i++ {
+		if q.l.At(i, j) != 0 {
+			q.pos[j][i] = len(q.act[j])
+			q.act[j] = append(q.act[j], i)
+			q.lam[j][i] = ev.totalRate[i] * q.l.At(i, j)
+		}
+	}
+	for _, i := range q.act[j] {
+		q.con[j][i] = q.freshCon(j, i)
+	}
+	q.mu[j] = q.scoreWith(j, -1, 0)
+}
+
+// freshCon computes S_ij from scratch over target j's active list.
+func (q *IncrementalEvaluator) freshCon(j, i int) float64 {
+	var s float64
+	row := q.ov[i*q.n:]
+	for _, k := range q.act[j] {
+		if k != i {
+			s += q.lam[j][k] * row[k]
+		}
+	}
+	return s
+}
+
+// objTerm computes mu_ij exactly as Evaluator.objectUtil does, given the
+// object's assigned fraction and contention factor. The caller has already
+// established lij > Epsilon and totalRate[i] > 0.
+func (q *IncrementalEvaluator) objTerm(j, i int, lij, chi float64) float64 {
+	ev := q.ev
+	model := ev.inst.Targets[j].Model
+	run := ev.runCountOn(i, lij)
+	var mu float64
+	if rr := ev.readRate[i] * lij; rr > 0 {
+		mu += rr * ev.cost(j, model, false, ev.readSize[i], run, chi)
+	}
+	if wr := ev.writeRate[i] * lij; wr > 0 {
+		mu += wr * ev.cost(j, model, true, ev.writeSize[i], run, chi)
+	}
+	return mu
+}
+
+// scoreWith computes mu_j as if L[obj][j] were frac, against the cached state
+// and without mutating anything. obj = -1 scores the target as-is. This is
+// the kernel's single scoring primitive: TryMove, Apply, ScoreObjectFrac and
+// SetObjectRow all price targets through it, so a probed score and the cached
+// utilization after the corresponding mutation are bit-identical.
+func (q *IncrementalEvaluator) scoreWith(j, obj int, frac float64) float64 {
+	ev := q.ev
+	var lamObj, dLam float64
+	if obj >= 0 {
+		lamObj = ev.totalRate[obj] * frac
+		dLam = lamObj - q.lam[j][obj]
+	}
+	var mu float64
+	for _, i := range q.act[j] {
+		if i == obj {
+			continue
+		}
+		lij := q.l.At(i, j)
+		if lij <= Epsilon || ev.totalRate[i] <= 0 {
+			continue
+		}
+		s := q.con[j][i]
+		if dLam != 0 {
+			s += dLam * q.ov[i*q.n+obj]
+		}
+		chi := s/q.lam[j][i] + ev.selfChi[i]
+		mu += q.objTerm(j, i, lij, chi)
+	}
+	if obj >= 0 && frac > Epsilon && ev.totalRate[obj] > 0 {
+		s := q.con[j][obj]
+		if q.pos[j][obj] < 0 {
+			s = q.freshCon(j, obj)
+		}
+		chi := s/lamObj + ev.selfChi[obj]
+		mu += q.objTerm(j, obj, frac, chi)
+	}
+	return mu
+}
+
+// EffectiveDelta folds a sub-Epsilon source residual into the moved fraction:
+// a move that would leave less than Epsilon of obj on target from is promoted
+// to a whole-assignment move, so no row mass is ever dropped by the dust
+// clamp (the rows-sum-to-1 invariant is preserved exactly, and byte
+// accounting downstream sees the true moved size).
+func (q *IncrementalEvaluator) EffectiveDelta(obj, from int, delta float64) float64 {
+	if have := q.l.At(obj, from); have-delta < Epsilon {
+		return have
+	}
+	return delta
+}
+
+// TryMove scores the transfer of delta of obj from one target to another
+// without performing it, returning the two affected targets' would-be
+// utilizations. All other targets are unaffected by a transfer move (the
+// paper's argument for the formulation), so the caller combines these with
+// the cached Utilization values. delta is normalized via EffectiveDelta.
+// from and to must differ.
+func (q *IncrementalEvaluator) TryMove(obj, from, to int, delta float64) (muFrom, muTo float64) {
+	delta = q.EffectiveDelta(obj, from, delta)
+	muFrom = q.scoreWith(from, obj, q.l.At(obj, from)-delta)
+	muTo = q.scoreWith(to, obj, q.l.At(obj, to)+delta)
+	return muFrom, muTo
+}
+
+// Apply performs the transfer and updates the cached state of the two
+// affected targets in O(active objects). It returns the effective moved
+// fraction after dust-clamp folding (see EffectiveDelta), which is what byte
+// accounting must use. The cached utilizations after Apply are bit-identical
+// to the values TryMove returned for the same move.
+func (q *IncrementalEvaluator) Apply(obj, from, to int, delta float64) float64 {
+	if from == to {
+		panic("layout: incremental move with from == to")
+	}
+	delta = q.EffectiveDelta(obj, from, delta)
+	newFrom := q.l.At(obj, from) - delta
+	if delta == q.l.At(obj, from) {
+		newFrom = 0 // exact, however the subtraction rounds
+	}
+	newTo := q.l.At(obj, to) + delta
+	q.mu[from] = q.scoreWith(from, obj, newFrom)
+	q.mu[to] = q.scoreWith(to, obj, newTo)
+	q.setFrac(from, obj, newFrom)
+	q.setFrac(to, obj, newTo)
+	return delta
+}
+
+// setFrac updates L[obj][j] and target j's cached state: the lambda entry is
+// recomputed exactly, the active list membership is adjusted, and every other
+// active object's contention sum shifts by dLam * Overlap(i, obj).
+func (q *IncrementalEvaluator) setFrac(j, obj int, frac float64) {
+	lamNew := q.ev.totalRate[obj] * frac
+	dLam := lamNew - q.lam[j][obj]
+	if dLam != 0 {
+		for _, i := range q.act[j] {
+			if i != obj {
+				q.con[j][i] += dLam * q.ov[i*q.n+obj]
+			}
+		}
+	}
+	wasActive := q.pos[j][obj] >= 0
+	switch {
+	case frac != 0 && !wasActive:
+		// S_obj was stale while obj was inactive; rebuild it before the
+		// object joins the active list.
+		q.con[j][obj] = q.freshCon(j, obj)
+		q.insertActive(j, obj)
+	case frac == 0 && wasActive:
+		q.removeActive(j, obj)
+	}
+	q.lam[j][obj] = lamNew
+	q.l.Set(obj, j, frac)
+}
+
+// insertActive adds obj to target j's active list, keeping ascending order so
+// that scoreWith's summation order depends only on the set of active objects,
+// never on the history of moves that produced it.
+func (q *IncrementalEvaluator) insertActive(j, obj int) {
+	a := q.act[j]
+	k := len(a)
+	for k > 0 && a[k-1] > obj {
+		k--
+	}
+	a = append(a, 0)
+	copy(a[k+1:], a[k:])
+	a[k] = obj
+	q.act[j] = a
+	for ; k < len(a); k++ {
+		q.pos[j][a[k]] = k
+	}
+}
+
+// removeActive drops obj from target j's active list.
+func (q *IncrementalEvaluator) removeActive(j, obj int) {
+	a := q.act[j]
+	k := q.pos[j][obj]
+	copy(a[k:], a[k+1:])
+	q.act[j] = a[:len(a)-1]
+	q.pos[j][obj] = -1
+	for ; k < len(q.act[j]); k++ {
+		q.pos[j][q.act[j][k]] = k
+	}
+}
+
+// ScoreObjectFrac returns mu_j as if L[obj][j] were frac, leaving the layout
+// and cached state untouched. It prices one cell of a row replacement — a
+// row change only affects targets whose own cell changed, so a full candidate
+// row is priced by calling this per changed target (the regularizer's and
+// polish pass's pattern).
+func (q *IncrementalEvaluator) ScoreObjectFrac(j, obj int, frac float64) float64 {
+	return q.scoreWith(j, obj, frac)
+}
+
+// SetObjectRow replaces object obj's row and updates every affected target's
+// cached state. Unchanged cells cost nothing; each changed target is repriced
+// through the same primitive ScoreObjectFrac uses, so previously probed
+// scores match the cached utilizations bit-for-bit.
+func (q *IncrementalEvaluator) SetObjectRow(obj int, row []float64) {
+	if len(row) != q.m {
+		panic(fmt.Sprintf("layout: row length %d, want %d", len(row), q.m))
+	}
+	for j := 0; j < q.m; j++ {
+		if row[j] == q.l.At(obj, j) {
+			continue
+		}
+		q.mu[j] = q.scoreWith(j, obj, row[j])
+		q.setFrac(j, obj, row[j])
+	}
+}
+
+// Utilization returns the cached mu_j.
+func (q *IncrementalEvaluator) Utilization(j int) float64 { return q.mu[j] }
+
+// Utilizations appends the cached per-target utilizations to dst and returns
+// the extended slice. Pass dst[:0] to reuse a buffer, or nil to allocate.
+func (q *IncrementalEvaluator) Utilizations(dst []float64) []float64 {
+	return append(dst, q.mu...)
+}
+
+// MaxUtilization returns the cached optimization objective max_j mu_j.
+func (q *IncrementalEvaluator) MaxUtilization() float64 {
+	var max float64
+	for _, u := range q.mu {
+		if u > max {
+			max = u
+		}
+	}
+	return max
+}

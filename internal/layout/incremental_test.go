@@ -1,0 +1,375 @@
+package layout
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dblayout/internal/rome"
+)
+
+// utilTol is the agreement contract between the incremental kernel and the
+// naive evaluator (see DESIGN.md, "Evaluation-kernel tolerance contract").
+const utilTol = 1e-9
+
+func utilClose(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := 1.0
+	if a > scale {
+		scale = a
+	}
+	if b > scale {
+		scale = b
+	}
+	return d <= utilTol*scale
+}
+
+// randInstance builds a random valid instance: n objects with random rates,
+// sizes, run counts, concurrency and a random symmetric overlap matrix, on m
+// targets alternating between the disk-like and SSD-like test models.
+func randInstance(tb testing.TB, rng *rand.Rand, n, m int) *Instance {
+	ws := make([]*rome.Workload, n)
+	for i := range ws {
+		w := &rome.Workload{
+			Name:      fmt.Sprintf("O%d", i),
+			ReadSize:  8192 * float64(1+rng.Intn(16)),
+			WriteSize: 8192,
+			ReadRate:  rng.Float64() * 300,
+			WriteRate: rng.Float64() * 50,
+			RunCount:  1 + rng.Float64()*63,
+			Overlap:   make([]float64, n),
+		}
+		if rng.Intn(4) == 0 {
+			w.Concurrency = 1 + rng.Float64()*4
+		}
+		if rng.Intn(8) == 0 {
+			// Idle object: exercises the totalRate == 0 paths.
+			w.ReadRate, w.WriteRate = 0, 0
+		}
+		w.Overlap[i] = 1
+		ws[i] = w
+	}
+	for i := 0; i < n; i++ {
+		for k := i + 1; k < n; k++ {
+			ov := rng.Float64()
+			if rng.Intn(3) == 0 {
+				ov = 0
+			}
+			ws[i].Overlap[k] = ov
+			ws[k].Overlap[i] = ov
+		}
+	}
+	set, err := rome.NewSet(ws...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+
+	disk, ssd := testModel(), ssdTestModel()
+	targets := make([]*Target, m)
+	for j := range targets {
+		model := CostModel(disk)
+		if j%2 == 1 {
+			model = ssd
+		}
+		targets[j] = &Target{Name: fmt.Sprintf("t%d", j), Capacity: 1 << 40, Model: model}
+	}
+	objects := make([]Object, n)
+	for i := range objects {
+		objects[i] = Object{Name: ws[i].Name, Size: int64(1+rng.Intn(8)) << 28}
+	}
+	inst := &Instance{Objects: objects, Targets: targets, Workloads: set}
+	if err := inst.Validate(); err != nil {
+		tb.Fatal(err)
+	}
+	return inst
+}
+
+// randLayout builds a random valid layout: each row spreads over 1..m random
+// targets with normalized random weights.
+func randLayout(rng *rand.Rand, n, m int) *Layout {
+	l := New(n, m)
+	for i := 0; i < n; i++ {
+		k := 1 + rng.Intn(m)
+		perm := rng.Perm(m)[:k]
+		row := make([]float64, m)
+		var sum float64
+		for _, j := range perm {
+			row[j] = 0.1 + rng.Float64()
+			sum += row[j]
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+		l.SetRow(i, row)
+	}
+	return l
+}
+
+// randMove picks a random candidate transfer for the differential drive,
+// including dust-clamp (delta just shy of the whole assignment) and
+// whole-assignment moves.
+func randMove(rng *rand.Rand, l *Layout) (obj, from, to int, delta float64, ok bool) {
+	obj = rng.Intn(l.N)
+	froms := l.Targets(obj)
+	if len(froms) == 0 {
+		return 0, 0, 0, 0, false
+	}
+	from = froms[rng.Intn(len(froms))]
+	to = rng.Intn(l.M)
+	if to == from {
+		to = (to + 1) % l.M
+	}
+	have := l.At(obj, from)
+	if have <= Epsilon {
+		return 0, 0, 0, 0, false
+	}
+	switch rng.Intn(5) {
+	case 0:
+		delta = have // whole assignment
+	case 1:
+		delta = have * (1 - 5e-10) // sub-Epsilon residual: dust clamp folds it
+	case 2:
+		delta = have * 0.5
+	case 3:
+		delta = have * 0.125
+	default:
+		delta = have * rng.Float64()
+	}
+	if delta <= Epsilon {
+		return 0, 0, 0, 0, false
+	}
+	return obj, from, to, delta, true
+}
+
+// checkAgainstNaive compares every cached kernel utilization against a fresh
+// naive evaluation of the kernel's layout.
+func checkAgainstNaive(tb testing.TB, q *IncrementalEvaluator, ev *Evaluator, step int) {
+	tb.Helper()
+	want := ev.Utilizations(q.Layout())
+	got := q.Utilizations(nil)
+	for j := range want {
+		if !utilClose(got[j], want[j]) {
+			tb.Fatalf("step %d: target %d: incremental mu = %.17g, naive mu = %.17g (diff %g)",
+				step, j, got[j], want[j], got[j]-want[j])
+		}
+	}
+}
+
+// driveDifferential runs `moves` random transfers through the kernel,
+// checking every TryMove probe against a naive mutate-evaluate pass on a
+// clone and periodically checking the full cached state against a fresh
+// naive evaluation.
+func driveDifferential(tb testing.TB, seed int64, n, m, moves int) {
+	rng := rand.New(rand.NewSource(seed))
+	inst := randInstance(tb, rng, n, m)
+	ev := NewEvaluator(inst)
+	l := randLayout(rng, n, m)
+	q := ev.NewIncremental(l)
+	checkAgainstNaive(tb, q, ev, -1)
+
+	applied := 0
+	for step := 0; step < moves; step++ {
+		obj, from, to, delta, ok := randMove(rng, l)
+		if !ok {
+			continue
+		}
+		muF, muT := q.TryMove(obj, from, to, delta)
+
+		// Naive reference: apply the effective move to a clone, evaluate.
+		eff := q.EffectiveDelta(obj, from, delta)
+		have := l.At(obj, from)
+		c := l.Clone()
+		newFrom := have - eff
+		if eff == have {
+			newFrom = 0
+		}
+		c.Set(obj, from, newFrom)
+		c.Set(obj, to, c.At(obj, to)+eff)
+		if wantF := ev.TargetUtilization(c, from); !utilClose(muF, wantF) {
+			tb.Fatalf("step %d: TryMove muFrom = %.17g, naive = %.17g", step, muF, wantF)
+		}
+		if wantT := ev.TargetUtilization(c, to); !utilClose(muT, wantT) {
+			tb.Fatalf("step %d: TryMove muTo = %.17g, naive = %.17g", step, muT, wantT)
+		}
+
+		if rng.Intn(3) > 0 {
+			if got := q.Apply(obj, from, to, delta); got != eff {
+				tb.Fatalf("step %d: Apply returned %g, EffectiveDelta %g", step, got, eff)
+			}
+			applied++
+			// Apply's cached state must reproduce TryMove's probes exactly:
+			// both go through the same scoring primitive.
+			if q.Utilization(from) != muF || q.Utilization(to) != muT {
+				tb.Fatalf("step %d: Apply utilizations (%.17g, %.17g) differ from TryMove probes (%.17g, %.17g)",
+					step, q.Utilization(from), q.Utilization(to), muF, muT)
+			}
+			if eff == have && l.At(obj, from) != 0 {
+				tb.Fatalf("step %d: whole-assignment move left %g on source", step, l.At(obj, from))
+			}
+		}
+		if step%25 == 0 {
+			checkAgainstNaive(tb, q, ev, step)
+		}
+	}
+	checkAgainstNaive(tb, q, ev, moves)
+	if err := l.CheckIntegrity(); err != nil {
+		tb.Fatalf("after %d applied moves: %v", applied, err)
+	}
+}
+
+// TestIncrementalMatchesNaive is the differential property test of the
+// kernel's move path: random instances, random valid layouts, random move
+// sequences, with every probe and every cached utilization compared against
+// the naive evaluator within the 1e-9 contract.
+func TestIncrementalMatchesNaive(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed * 977))
+			n := 4 + rng.Intn(9)
+			m := 2 + rng.Intn(5)
+			driveDifferential(t, seed, n, m, 200)
+		})
+	}
+}
+
+// TestIncrementalRowReplacement checks the regularizer's pattern: probing
+// single cells of a candidate row with ScoreObjectFrac, then committing it
+// with SetObjectRow, must match naive evaluation of the replaced row.
+func TestIncrementalRowReplacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	inst := randInstance(t, rng, 10, 5)
+	ev := NewEvaluator(inst)
+	l := randLayout(rng, 10, 5)
+	q := ev.NewIncremental(l)
+
+	for step := 0; step < 120; step++ {
+		i := rng.Intn(l.N)
+		row := randLayout(rng, 1, l.M).Row(0)
+		if rng.Intn(4) == 0 {
+			// Regular row concentrated on one target: exercises activation
+			// and deactivation of the remaining cells.
+			for j := range row {
+				row[j] = 0
+			}
+			row[rng.Intn(l.M)] = 1
+		}
+		c := l.Clone()
+		c.SetRow(i, row)
+		probes := make([]float64, l.M)
+		for j := range row {
+			probes[j] = q.ScoreObjectFrac(j, i, row[j])
+			if want := ev.TargetUtilization(c, j); !utilClose(probes[j], want) {
+				t.Fatalf("step %d: ScoreObjectFrac(%d, %d, %g) = %.17g, naive = %.17g",
+					step, j, i, row[j], probes[j], want)
+			}
+		}
+		q.SetObjectRow(i, row)
+		for j := range row {
+			if row[j] != c.At(i, j) {
+				continue
+			}
+			if q.Utilization(j) != probes[j] && row[j] != l.At(i, j) {
+				t.Fatalf("step %d: SetObjectRow utilization %.17g differs from probe %.17g",
+					step, q.Utilization(j), probes[j])
+			}
+		}
+		checkAgainstNaive(t, q, ev, step)
+	}
+}
+
+// TestIncrementalLongSequenceDrift pins the accumulated floating-point drift
+// of the incrementally-maintained contention sums: after thousands of applied
+// moves the kernel must still agree with a fresh naive evaluation within the
+// 1e-9 contract, with no periodic rebuild.
+func TestIncrementalLongSequenceDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long drift check skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(7))
+	inst := randInstance(t, rng, 20, 6)
+	ev := NewEvaluator(inst)
+	l := randLayout(rng, 20, 6)
+	q := ev.NewIncremental(l)
+
+	for step := 0; step < 4000; step++ {
+		obj, from, to, delta, ok := randMove(rng, l)
+		if !ok {
+			continue
+		}
+		q.Apply(obj, from, to, delta)
+		if step%500 == 0 {
+			checkAgainstNaive(t, q, ev, step)
+		}
+	}
+	checkAgainstNaive(t, q, ev, 4000)
+	if err := l.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalMoveScoringAllocFree pins the kernel's zero-allocation
+// contract for the move-scoring loop: TryMove and Apply must not allocate
+// once the kernel is built.
+func TestIncrementalMoveScoringAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst := randInstance(t, rng, 12, 4)
+	ev := NewEvaluator(inst)
+	l := randLayout(rng, 12, 4)
+	q := ev.NewIncremental(l)
+
+	from := 0
+	for l.At(0, from) <= Epsilon {
+		from++
+	}
+	to := (from + 1) % l.M
+	if allocs := testing.AllocsPerRun(200, func() {
+		q.TryMove(0, from, to, l.At(0, from)*0.25)
+	}); allocs != 0 {
+		t.Fatalf("TryMove allocates %g objects per call, want 0", allocs)
+	}
+	// Bounce the whole assignment between two targets: every Apply
+	// activates one target and deactivates the other, the worst case for
+	// the active-list bookkeeping.
+	row := make([]float64, l.M)
+	row[0] = 1
+	q.SetObjectRow(1, row)
+	side := 0
+	if allocs := testing.AllocsPerRun(200, func() {
+		q.Apply(1, side, 1-side, l.At(1, side))
+		side = 1 - side
+	}); allocs != 0 {
+		t.Fatalf("Apply allocates %g objects per call, want 0", allocs)
+	}
+}
+
+// TestIncrementalDimensionMismatch checks the constructor's guard.
+func TestIncrementalDimensionMismatch(t *testing.T) {
+	inst := testInstance(t, 2)
+	ev := NewEvaluator(inst)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched layout dimensions not rejected")
+		}
+	}()
+	ev.NewIncremental(New(2, 2)) // instance has 4 objects
+}
+
+// FuzzIncrementalKernel fuzzes the differential property: whatever the
+// instance shape, layout, and move sequence, the kernel must agree with the
+// naive evaluator within the tolerance contract and preserve layout
+// integrity.
+func FuzzIncrementalKernel(f *testing.F) {
+	f.Add(int64(1), uint8(6), uint8(3), uint16(60))
+	f.Add(int64(2), uint8(2), uint8(2), uint16(10))
+	f.Add(int64(99), uint8(16), uint8(8), uint16(200))
+	f.Fuzz(func(t *testing.T, seed int64, n, m uint8, moves uint16) {
+		nn := 2 + int(n%15)
+		mm := 2 + int(m%7)
+		steps := int(moves % 256)
+		driveDifferential(t, seed, nn, mm, steps)
+	})
+}

@@ -26,6 +26,10 @@ type Evaluator struct {
 	runCount            []float64
 	totalRate           []float64
 	selfChi             []float64
+
+	// ov is the dense row-major overlap matrix (ov[i*n+k] = Overlap(i, k)),
+	// built once and shared read-only with every IncrementalEvaluator.
+	ov []float64
 }
 
 // NewEvaluator prepares an evaluator for the instance. The instance must
@@ -60,8 +64,17 @@ func NewEvaluator(inst *Instance) *Evaluator {
 			ev.selfChi[i] = c - 1
 		}
 	}
+	ev.ov = make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			ev.ov[i*n+k] = inst.Workloads.Overlap(i, k)
+		}
+	}
 	return ev
 }
+
+// overlapMatrix exposes the dense overlap matrix to the incremental kernel.
+func (ev *Evaluator) overlapMatrix() []float64 { return ev.ov }
 
 // Instance returns the instance the evaluator was built for.
 func (ev *Evaluator) Instance() *Instance { return ev.inst }

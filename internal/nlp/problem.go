@@ -37,6 +37,23 @@ type Evaluator interface {
 	Utilizations(l *layout.Layout) []float64
 }
 
+// IncrementalSource is implemented by evaluators that can vend a
+// delta-evaluation kernel for a live layout (*layout.Evaluator does). The
+// solvers probe for it and, when present, score candidate moves in O(active
+// objects) with zero allocations instead of two full O(N) target
+// evaluations; evaluators implementing only Evaluator keep working on the
+// naive path. The kernel and the naive evaluator agree on every target
+// utilization to within 1e-9 (see DESIGN.md, "Evaluation-kernel tolerance
+// contract").
+type IncrementalSource interface {
+	NewIncremental(l *layout.Layout) *layout.IncrementalEvaluator
+}
+
+// NoRestarts is the Options.Restarts sentinel for a single-descent solve:
+// no multi-start rounds run and Result.Restarts reports 0. (The zero value
+// selects the default restart count, so "none" needs an explicit sentinel.)
+const NoRestarts = -1
+
 // Options controls the solvers. The zero value selects sensible defaults.
 type Options struct {
 	// MaxIters bounds improvement iterations (default 2000).
@@ -45,13 +62,16 @@ type Options struct {
 	// the search going (default 1e-4).
 	Tolerance float64
 	// Restarts is the number of random multi-start rounds after the first
-	// search converges; the best layout found is kept (default 3). Every
-	// solver honours it: TransferSearch re-descends from perturbations of
-	// its first descent's result, ProjectedGradient re-descends from
-	// perturbations of the initial layout, and Anneal runs one additional
-	// full annealing chain per restart from a perturbed initial layout.
-	// Restarts are independent of each other by construction, so they
-	// parallelize (see Workers) without changing the chosen layout.
+	// search converges; the best layout found is kept. Zero selects the
+	// default (3); NoRestarts — or any negative value — requests a
+	// single-descent solve with no multi-start rounds at all, which
+	// Result.Restarts reports as 0. Every solver honours it:
+	// TransferSearch re-descends from perturbations of its first descent's
+	// result, ProjectedGradient re-descends from perturbations of the
+	// initial layout, and Anneal runs one additional full annealing chain
+	// per restart from a perturbed initial layout. Restarts are
+	// independent of each other by construction, so they parallelize (see
+	// Workers) without changing the chosen layout.
 	Restarts int
 	// Workers bounds how many restarts run concurrently. Zero selects
 	// min(Restarts+1, GOMAXPROCS); 1 forces a fully serial solve. The

@@ -72,12 +72,26 @@ func ProjectedGradient(ctx context.Context, ev Evaluator, inst *layout.Instance,
 // utilizations and max the caller supplies) until convergence, the iteration
 // bound, or a limiter stop. It owns l and returns the final layout, its
 // objective, and the iteration/evaluation effort spent.
+//
+// When the evaluator vends an incremental kernel, every finite-difference
+// probe is an O(active objects) delta-score instead of a full O(N) target
+// evaluation; the kernel is rebuilt whenever the line search accepts a new
+// layout (one rebuild per accepted step versus N*M probes per gradient).
 func gradientDescend(ev Evaluator, inst *layout.Instance, l *layout.Layout, utils []float64, cur float64, opt Options, tk *tracker, lim *limiter, restart int) (*layout.Layout, float64, int, int) {
 	sizes := inst.Sizes()
 	caps := inst.Capacities()
 	step := 0.25
 	const h = 1e-4
 	iters, evals := 0, 0
+
+	src, _ := ev.(IncrementalSource)
+	var inc *layout.IncrementalEvaluator
+	if src != nil {
+		inc = src.NewIncremental(l)
+		// Align the probe baseline with the kernel's summation order so
+		// finite differences subtract like from like.
+		utils = inc.Utilizations(utils[:0])
+	}
 
 	for iter := 0; iter < opt.MaxIters; iter++ {
 		if lim.stop() != nil {
@@ -111,10 +125,15 @@ func gradientDescend(ev Evaluator, inst *layout.Instance, l *layout.Layout, util
 			}
 			for i := 0; i < l.N; i++ {
 				old := l.At(i, j)
-				l.Set(i, j, old+h)
-				up := ev.TargetUtilization(l, j)
+				var up float64
+				if inc != nil {
+					up = inc.ScoreObjectFrac(j, i, old+h)
+				} else {
+					l.Set(i, j, old+h)
+					up = ev.TargetUtilization(l, j)
+					l.Set(i, j, old)
+				}
 				evals++
-				l.Set(i, j, old)
 				grad[i*l.M+j] = w[j] * (up - utils[j]) / h
 			}
 		}
@@ -142,6 +161,10 @@ func gradientDescend(ev Evaluator, inst *layout.Instance, l *layout.Layout, util
 			if _, cv := maxOf(cu); cv < cur-1e-12 {
 				l = cand
 				utils = cu
+				if src != nil {
+					inc = src.NewIncremental(l)
+					utils = inc.Utilizations(utils[:0])
+				}
 				if cur-cv < opt.Tolerance*cur {
 					cur = cv
 					iter = opt.MaxIters // converged

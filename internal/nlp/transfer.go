@@ -70,8 +70,16 @@ func TransferSearch(ctx context.Context, ev Evaluator, inst *layout.Instance, in
 
 // transferState caches per-target utilizations and assigned bytes for the
 // current layout so that a candidate move costs two target evaluations.
+//
+// When the evaluator can vend an incremental kernel (see IncrementalSource),
+// the two evaluations are O(active objects) delta-scores with zero
+// allocations; otherwise each is a full O(N) naive evaluation. Both paths
+// fold sub-Epsilon source residuals into the moved fraction (the dust clamp),
+// so rows never lose mass and the bytes cache never drifts from
+// Layout.TargetBytes.
 type transferState struct {
 	ev    Evaluator
+	inc   *layout.IncrementalEvaluator // nil selects the naive path
 	inst  *layout.Instance
 	l     *layout.Layout
 	utils []float64
@@ -94,12 +102,28 @@ func newTransferState(ev Evaluator, inst *layout.Instance, l *layout.Layout) *tr
 
 func (s *transferState) reset(l *layout.Layout) {
 	s.l = l
-	s.utils = s.ev.Utilizations(l)
+	if src, ok := s.ev.(IncrementalSource); ok {
+		s.inc = src.NewIncremental(l)
+		s.utils = s.inc.Utilizations(nil)
+	} else {
+		s.utils = s.ev.Utilizations(l)
+	}
 	s.evals += l.M
 	s.bytes = make([]float64, l.M)
 	for j := 0; j < l.M; j++ {
 		s.bytes[j] = l.TargetBytes(j, s.sizes)
 	}
+}
+
+// effectiveDelta folds a sub-Epsilon source residual into the moved fraction,
+// promoting the move to a whole-assignment transfer. Dropping the residual
+// instead (the pre-kernel behaviour) leaked row mass on every clamped move
+// and let the bytes cache drift from the layout's true byte assignment.
+func (s *transferState) effectiveDelta(m move) float64 {
+	if have := s.l.At(m.obj, m.from); have-m.delta < layout.Epsilon {
+		return have
+	}
+	return m.delta
 }
 
 // objective returns the current max utilization.
@@ -132,34 +156,50 @@ type move struct {
 
 // apply performs the move and refreshes the two affected columns.
 func (s *transferState) apply(m move) {
-	s.l.Set(m.obj, m.from, s.l.At(m.obj, m.from)-m.delta)
-	if s.l.At(m.obj, m.from) < layout.Epsilon {
-		s.l.Set(m.obj, m.from, 0)
+	var eff float64
+	if s.inc != nil {
+		eff = s.inc.Apply(m.obj, m.from, m.to, m.delta)
+		s.utils[m.from] = s.inc.Utilization(m.from)
+		s.utils[m.to] = s.inc.Utilization(m.to)
+	} else {
+		eff = s.effectiveDelta(m)
+		newFrom := s.l.At(m.obj, m.from) - eff
+		if eff == s.l.At(m.obj, m.from) {
+			newFrom = 0 // exact, however the subtraction rounds
+		}
+		s.l.Set(m.obj, m.from, newFrom)
+		s.l.Set(m.obj, m.to, s.l.At(m.obj, m.to)+eff)
+		s.utils[m.from] = s.ev.TargetUtilization(s.l, m.from)
+		s.utils[m.to] = s.ev.TargetUtilization(s.l, m.to)
 	}
-	s.l.Set(m.obj, m.to, s.l.At(m.obj, m.to)+m.delta)
-	s.bytes[m.from] -= m.delta * float64(s.sizes[m.obj])
-	s.bytes[m.to] += m.delta * float64(s.sizes[m.obj])
-	s.utils[m.from] = s.ev.TargetUtilization(s.l, m.from)
-	s.utils[m.to] = s.ev.TargetUtilization(s.l, m.to)
+	s.bytes[m.from] -= eff * float64(s.sizes[m.obj])
+	s.bytes[m.to] += eff * float64(s.sizes[m.obj])
 	s.evals += 2
 }
 
-// tryMove evaluates the (max, sum) objective after m without keeping it: it
-// applies the move, reads the two new utilizations, and reverts.
+// tryMove evaluates the (max, sum) objective after m without keeping it. On
+// the incremental path the two affected targets are delta-scored against the
+// kernel's cached state with no mutation and no allocation; the naive
+// fallback applies the move, reads the two new utilizations, and reverts.
 func (s *transferState) tryMove(m move) (float64, float64) {
-	fromOld, toOld := s.l.At(m.obj, m.from), s.l.At(m.obj, m.to)
-
-	s.l.Set(m.obj, m.from, fromOld-m.delta)
-	if s.l.At(m.obj, m.from) < layout.Epsilon {
-		s.l.Set(m.obj, m.from, 0)
+	var nf, nt float64
+	if s.inc != nil {
+		nf, nt = s.inc.TryMove(m.obj, m.from, m.to, m.delta)
+	} else {
+		eff := s.effectiveDelta(m)
+		fromOld, toOld := s.l.At(m.obj, m.from), s.l.At(m.obj, m.to)
+		newFrom := fromOld - eff
+		if eff == fromOld {
+			newFrom = 0
+		}
+		s.l.Set(m.obj, m.from, newFrom)
+		s.l.Set(m.obj, m.to, toOld+eff)
+		nf = s.ev.TargetUtilization(s.l, m.from)
+		nt = s.ev.TargetUtilization(s.l, m.to)
+		s.l.Set(m.obj, m.from, fromOld)
+		s.l.Set(m.obj, m.to, toOld)
 	}
-	s.l.Set(m.obj, m.to, toOld+m.delta)
-	nf := s.ev.TargetUtilization(s.l, m.from)
-	nt := s.ev.TargetUtilization(s.l, m.to)
 	s.evals += 2
-
-	s.l.Set(m.obj, m.from, fromOld)
-	s.l.Set(m.obj, m.to, toOld)
 
 	obj, sum := 0.0, 0.0
 	for j, u := range s.utils {

@@ -3,6 +3,7 @@ package rome
 import (
 	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -102,6 +103,7 @@ func TestSetValidation(t *testing.T) {
 func TestSetOverlapDefaults(t *testing.T) {
 	a, b := validWorkload("A"), validWorkload("B")
 	a.Overlap = []float64{1, 0.7}
+	b.Overlap = []float64{0.7, 1}
 	s, err := NewSet(a, b)
 	if err != nil {
 		t.Fatal(err)
@@ -109,11 +111,55 @@ func TestSetOverlapDefaults(t *testing.T) {
 	if got := s.Overlap(0, 1); got != 0.7 {
 		t.Fatalf("Overlap(0,1) = %g, want 0.7", got)
 	}
-	if got := s.Overlap(1, 0); got != 0 {
-		t.Fatalf("Overlap(1,0) = %g, want 0 (no vector)", got)
+	if got := s.Overlap(1, 0); got != 0.7 {
+		t.Fatalf("Overlap(1,0) = %g, want 0.7", got)
 	}
 	if got := s.Overlap(1, 1); got != 1 {
 		t.Fatalf("self overlap = %g, want 1", got)
+	}
+	// A workload without a vector reads as 0 against everyone, which is
+	// symmetric as long as nobody claims a non-zero overlap with it.
+	c, d := validWorkload("C"), validWorkload("D")
+	s2, err := NewSet(c, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Overlap(0, 1); got != 0 {
+		t.Fatalf("Overlap(0,1) = %g, want 0 (no vectors)", got)
+	}
+}
+
+func TestSetValidateRejectsAsymmetricOverlap(t *testing.T) {
+	// Mismatched values in the two directions.
+	a, b := validWorkload("A"), validWorkload("B")
+	a.Overlap = []float64{1, 0.7}
+	b.Overlap = []float64{0.2, 1}
+	_, err := NewSet(a, b)
+	if err == nil {
+		t.Fatal("asymmetric overlap accepted")
+	}
+	for _, want := range []string{"line 0", "line 1", `"A"`, `"B"`, "0.7", "0.2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %s", err, want)
+		}
+	}
+
+	// A one-sided vector: A claims overlap with B, but B carries no vector,
+	// so Overlap(1,0) would read 0 — the contention factor (Eq. 2) would be
+	// direction-dependent.
+	a, b = validWorkload("A"), validWorkload("B")
+	a.Overlap = []float64{1, 0.7}
+	if _, err := NewSet(a, b); err == nil {
+		t.Fatal("one-sided overlap vector accepted")
+	}
+
+	// Asymmetry within the 1e-9 tolerance (round-off from independent
+	// fitting passes) is accepted.
+	a, b = validWorkload("A"), validWorkload("B")
+	a.Overlap = []float64{1, 0.7}
+	b.Overlap = []float64{0.7 + 1e-12, 1}
+	if _, err := NewSet(a, b); err != nil {
+		t.Fatalf("round-off asymmetry rejected: %v", err)
 	}
 }
 
@@ -129,9 +175,10 @@ func TestSetIndexAndNames(t *testing.T) {
 }
 
 func TestSetJSONRoundTrip(t *testing.T) {
-	a := validWorkload("A")
+	a, b := validWorkload("A"), validWorkload("B")
 	a.Overlap = []float64{1, 0.25}
-	s, _ := NewSet(a, validWorkload("B"))
+	b.Overlap = []float64{0.25, 1}
+	s, _ := NewSet(a, b)
 	data, err := json.Marshal(s)
 	if err != nil {
 		t.Fatal(err)
@@ -224,6 +271,7 @@ func TestReplicateProperties(t *testing.T) {
 		k := int(n%4) + 1
 		a, b := validWorkload("A"), validWorkload("B")
 		a.Overlap = []float64{1, 0.3}
+		b.Overlap = []float64{0.3, 1}
 		s, _ := NewSet(a, b)
 		r := s.Replicate(k)
 		if r.Len() != 2*k {

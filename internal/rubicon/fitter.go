@@ -180,22 +180,36 @@ func (f *Fitter) Fit() (*rome.Set, error) {
 		}
 	}
 
+	// Overlap is normalized by the busier object's active-window count and
+	// both matrix entries are assigned from the one computation, so the
+	// fitted matrix is symmetric by construction (rome.Set rejects
+	// asymmetric matrices: they would make Eq. 2 direction-dependent).
+	// Normalizing each row by its own window count — the previous
+	// behaviour — inflated the overlap seen by the rarely-active object of
+	// an unbalanced pair.
 	for i := range f.stats {
 		ai := f.stats[i].activeWindows
 		if len(ai) == 0 {
 			continue
 		}
-		for j := range f.stats {
-			if i == j {
+		for j := i + 1; j < n; j++ {
+			aj := f.stats[j].activeWindows
+			if len(aj) == 0 {
 				continue
 			}
 			both := 0
 			for wnd := range ai {
-				if f.stats[j].activeWindows[wnd] {
+				if aj[wnd] {
 					both++
 				}
 			}
-			ws[i].Overlap[j] = float64(both) / float64(len(ai))
+			denom := len(ai)
+			if len(aj) > denom {
+				denom = len(aj)
+			}
+			ov := float64(both) / float64(denom)
+			ws[i].Overlap[j] = ov
+			ws[j].Overlap[i] = ov
 		}
 	}
 	return rome.NewSet(ws...)
