@@ -7,9 +7,15 @@
 //	advisor -problem problem.json [-seed N] [-budget 30s] [-workers N]
 //	        [-portfolio] [-non-regular] [-utilizations] [-v | -log-level L]
 //	        [-trace-out solver.jsonl] [-metrics-out metrics.prom]
+//	        [-metrics-flush 5s] [-listen addr] [-listen-hold 30s]
 //	        [-cpuprofile f] [-memprofile f]
 //	        [-execute] [-journal f] [-copy-rate MiBps] [-queue-share S]
 //	        [-scratch-mb N]
+//
+// With -listen the advisor serves its live metrics over HTTP while it runs:
+// /metrics (Prometheus text), /metrics.json, /series (windowed time-series
+// data) and /debug/pprof. -listen-hold keeps the endpoint up after the run
+// finishes so a scraper can collect the final state.
 //
 // The problem file describes objects, targets and per-object workloads:
 //

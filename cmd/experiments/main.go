@@ -6,9 +6,12 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig8|fig11|fig15|fig17|fig18|fig19|fig20|ablation|degraded|migration] [-quick] [-seed N]
-//	            [-v | -log-level L] [-trace-out solver.jsonl]
-//	            [-metrics-out metrics.prom] [-cpuprofile f] [-memprofile f]
+//	experiments [-run all|fig8|fig11|fig15|fig17|fig18|fig19|fig20|ablation|degraded|migration|drift]
+//	            [-quick] [-seed N] [-v | -log-level L] [-trace-out solver.jsonl]
+//	            [-metrics-out metrics.prom] [-metrics-flush 5s]
+//	            [-listen addr] [-listen-hold 30s]
+//	            [-drift-events events.jsonl]
+//	            [-cpuprofile f] [-memprofile f]
 //
 // fig11 also prints the layout figures (1, 12, 14) and utilization-stage
 // figure (13) derived from the same runs.
@@ -27,10 +30,11 @@ import (
 )
 
 func main() {
-	which := flag.String("run", "all", "experiment to run: all, fig8, fig11, fig15, fig17, fig18, fig19, fig20, ablation, degraded, migration")
+	which := flag.String("run", "all", "experiment to run: all, fig8, fig11, fig15, fig17, fig18, fig19, fig20, ablation, degraded, migration, drift")
 	quick := flag.Bool("quick", false, "reduced scale (coarse calibration, fewer queries)")
 	seed := flag.Int64("seed", 1, "replay and solver seed")
 	workers := flag.Int("workers", 0, "solver restart parallelism (0 = auto, 1 = serial); results are identical at any worker count")
+	driftEvents := flag.String("drift-events", "", "write the drift experiment's detection events as JSON lines to this file")
 	var cli obs.CLI
 	cli.Register(flag.CommandLine)
 	flag.Parse()
@@ -56,6 +60,15 @@ func main() {
 	cfg.Metrics = sess.Registry
 	if sess.Trace != nil {
 		cfg.Trace = func(ev nlp.TraceEvent) { sess.Trace.Write(ev) }
+	}
+	if *driftEvents != "" {
+		f, err := os.Create(*driftEvents)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.DriftEvents = f
 	}
 
 	run := func(name string, fn func() error) {
@@ -167,6 +180,16 @@ func main() {
 		}
 		fmt.Println("Online-migration study — throttled deployment and failure evacuation:")
 		fmt.Print(experiments.MigrationTable(res))
+		return nil
+	})
+
+	run("drift", func() error {
+		res, err := experiments.Drift(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Drift study — diurnal OLTP->OLAP shift, windowed detection:")
+		fmt.Print(experiments.DriftTable(res))
 		return nil
 	})
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"math"
 	"strings"
 	"testing"
@@ -262,5 +263,52 @@ func TestQuickAblation(t *testing.T) {
 	}
 	if !strings.Contains(AblationTable(rows), "Variant") {
 		t.Error("AblationTable missing header")
+	}
+}
+
+func TestQuickDrift(t *testing.T) {
+	cfg := NewQuickConfig()
+	var events bytes.Buffer
+	cfg.DriftEvents = &events
+	res, err := Drift(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SteadyEvents != 0 {
+		t.Errorf("detector fired %d times during steady state, want 0", res.SteadyEvents)
+	}
+	if !res.Detected {
+		t.Fatal("prediction-error drift not detected after the shift")
+	}
+	// The hysteresis needs Trigger=2 drifted windows, so latency is at
+	// least 1; anything beyond a handful of windows means the signal is
+	// too weak to be useful.
+	if res.DetectionLatency < 1 || res.DetectionLatency > 6 {
+		t.Errorf("detection latency %d windows, want 1..6", res.DetectionLatency)
+	}
+	if !res.OverlapDetected {
+		t.Error("overlap-matrix drift not detected")
+	}
+	if res.OverlapDistance <= res.OverlapThreshold {
+		t.Errorf("overlap distance %.3f not above threshold %.3f",
+			res.OverlapDistance, res.OverlapThreshold)
+	}
+	if res.ShiftTime <= 0 || res.Elapsed <= res.ShiftTime {
+		t.Errorf("degenerate times: shift %.2f, elapsed %.2f", res.ShiftTime, res.Elapsed)
+	}
+	if len(res.Events) == 0 {
+		t.Error("no events recorded")
+	}
+	// Every fired event also landed on the JSONL stream.
+	lines := strings.Count(strings.TrimRight(events.String(), "\n"), "\n") + 1
+	if events.Len() == 0 || lines != len(res.Events) {
+		t.Errorf("event stream has %d lines, want %d", lines, len(res.Events))
+	}
+	tbl := DriftTable(res)
+	for _, want := range []string{"drift: diurnal OLTP->OLAP shift", "steady-state events: 0",
+		"prediction-error drift detected", "overlap-matrix drift detected"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("DriftTable missing %q:\n%s", want, tbl)
+		}
 	}
 }

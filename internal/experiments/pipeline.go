@@ -15,6 +15,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"log/slog"
 
 	"dblayout/internal/benchdb"
@@ -52,6 +53,9 @@ type Config struct {
 	// Metrics, when non-nil, accumulates replay counters and solver
 	// effort across the experiments. Nil disables collection.
 	Metrics *obs.Registry
+	// DriftEvents, when non-nil, receives the drift experiment's fired
+	// detection events as JSON lines. Nil disables the stream.
+	DriftEvents io.Writer
 }
 
 // NewConfig returns the standard experiment configuration.

@@ -143,15 +143,32 @@ type Engine struct {
 	res     Result
 	onDone  func(*Result)
 
+	copied int64 // bytes written to destinations this run (series feed)
+
 	mCommitted    *obs.Counter
 	mBytes        *obs.Counter
 	mDeviceBytes  *obs.Counter
 	mRecon        *obs.Counter
 	mAborts       *obs.Counter
+	mJournal      *obs.Counter
 	mProgress     *obs.Gauge
+	mState        *obs.Gauge
+	mStep         *obs.Gauge
+	mRate         *obs.Gauge
+	mETA          *obs.Gauge
+	mCopied       *obs.Series
 	mChunkLatency *obs.Histogram
 	mMoveBytes    *obs.Histogram
 }
+
+// migration_state gauge values: the engine's lifecycle as a scrapeable enum.
+const (
+	stateIdle    = 0
+	stateRunning = 1
+	stateDone    = 2
+	stateAborted = 3
+	stateCrashed = 4
+)
 
 // gatePoll is how long (simulated seconds) a queue-gated chunk waits before
 // re-checking the device queues.
@@ -218,9 +235,16 @@ func NewEngine(sim IO, base *layout.Layout, steps []Step, opt Options, done func
 		e.mDeviceBytes = r.Counter(obs.Name("migration_device_bytes_total"))
 		e.mRecon = r.Counter(obs.Name("migration_reconstructed_bytes_total"))
 		e.mAborts = r.Counter(obs.Name("migration_aborts_total"))
+		e.mJournal = r.Counter(obs.Name("migration_journal_records_total"))
 		e.mProgress = r.Gauge(obs.Name("migration_progress_ratio"))
+		e.mState = r.Gauge(obs.Name("migration_state"))
+		e.mStep = r.Gauge(obs.Name("migration_current_step"))
+		e.mRate = r.Gauge(obs.Name("migration_copy_rate_bytes_per_second"))
+		e.mETA = r.Gauge(obs.Name("migration_eta_seconds"))
+		e.mCopied = r.Series(obs.Name("migration_copied_bytes"), 0)
 		e.mChunkLatency = r.Histogram(obs.Name("migration_chunk_latency_seconds"), obs.LatencyBuckets())
 		e.mMoveBytes = r.Histogram(obs.Name("migration_move_bytes"), obs.ByteBuckets())
+		e.mState.Set(stateIdle)
 	}
 	return e, nil
 }
@@ -230,6 +254,7 @@ func NewEngine(sim IO, base *layout.Layout, steps []Step, opt Options, done func
 func (e *Engine) Start() {
 	e.res.Start = e.io.Now()
 	e.res.Steps = e.steps
+	e.mState.Set(stateRunning)
 	if e.opt.Checkpoint == nil {
 		scratch := e.opt.Scratch
 		if !e.journal(Record{T: "plan", Steps: e.steps, Scratch: &scratch}) {
@@ -251,6 +276,7 @@ func (e *Engine) next() {
 		e.complete()
 		return
 	}
+	e.mStep.Set(float64(e.cur))
 	s := e.steps[e.cur]
 	e.writeBase = e.occupied(s.Move.To)
 	e.readStream = e.io.NewStream()
@@ -391,6 +417,16 @@ func (e *Engine) chunkWritten(chunk int64, dst int, failed bool) {
 	e.mDeviceBytes.Add(chunk)
 	e.mChunkLatency.Observe(e.io.Now() - e.chunkStart)
 	e.progress[e.cur] += chunk
+	e.copied += chunk
+	e.mCopied.Record(e.io.Now(), float64(e.copied))
+	if rate := e.mCopied.Rate(); rate > 0 {
+		e.mRate.Set(rate)
+		remain := ScriptBytes(e.steps) - e.res.CommittedBytes - e.progress[e.cur]
+		if remain < 0 {
+			remain = 0
+		}
+		e.mETA.Set(float64(remain) / rate)
+	}
 	if e.progress[e.cur]-e.ckMark >= e.opt.CheckpointBytes && e.progress[e.cur] < e.steps[e.cur].Move.Bytes {
 		if !e.journal(Record{T: "progress", Step: e.cur, Done: e.progress[e.cur]}) {
 			return
@@ -460,6 +496,7 @@ func (e *Engine) journal(r Record) bool {
 	}
 	if e.jw.w != nil {
 		e.res.JournalRecords++
+		e.mJournal.Inc()
 	}
 	return true
 }
@@ -472,6 +509,15 @@ func (e *Engine) finish() {
 	e.stopped = true
 	e.res.End = e.io.Now()
 	e.res.Elapsed = e.res.End - e.res.Start
+	switch {
+	case e.res.Done:
+		e.mState.Set(stateDone)
+		e.mETA.Set(0)
+	case e.res.Aborted:
+		e.mState.Set(stateAborted)
+	case e.res.Crashed:
+		e.mState.Set(stateCrashed)
+	}
 	e.res.Layout = e.layout.Clone()
 	e.res.State = append([]StepState(nil), e.state...)
 	if e.onDone != nil {

@@ -3,10 +3,13 @@ package obs
 import (
 	"bytes"
 	"flag"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestCLISessionOutputs(t *testing.T) {
@@ -58,6 +61,67 @@ func TestCLISessionOutputs(t *testing.T) {
 	}
 	if !strings.Contains(string(metrics), "x_total 1") {
 		t.Errorf("metrics file content %q", metrics)
+	}
+}
+
+// TestCLIPeriodicFlush verifies -metrics-flush rewrites the metrics file
+// while the command is still running, so a killed run leaves a usable file.
+func TestCLIPeriodicFlush(t *testing.T) {
+	metricsPath := filepath.Join(t.TempDir(), "metrics.prom")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var cli CLI
+	cli.Register(fs)
+	if err := fs.Parse([]string{"-metrics-out", metricsPath, "-metrics-flush", "5ms"}); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := cli.Start(&bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Registry.Counter("live_total").Inc()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if b, err := os.ReadFile(metricsPath); err == nil && strings.Contains(string(b), "live_total 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("metrics file not flushed before Close")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(metricsPath + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp flush file left behind: %v", err)
+	}
+}
+
+// TestCLIListen verifies -listen alone creates a registry and serves it.
+func TestCLIListen(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var cli CLI
+	cli.Register(fs)
+	if err := fs.Parse([]string{"-listen", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := cli.Start(&bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.Registry == nil {
+		t.Fatal("-listen did not create a registry")
+	}
+	sess.Registry.Counter("served_total").Inc()
+	resp, err := http.Get("http://" + sess.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "served_total 1") {
+		t.Errorf("served metrics = %q", body)
 	}
 }
 

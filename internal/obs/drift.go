@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"log/slog"
+	"sync"
+)
+
+// DriftConfig tunes a Detector. The zero value is not usable: Threshold must
+// be positive.
+type DriftConfig struct {
+	// Threshold marks a window as drifted when |value| >= Threshold.
+	Threshold float64
+	// Trigger is the number of consecutive drifted windows a signal must
+	// accumulate before an event fires — the hysteresis that keeps one
+	// noisy window from raising an alarm. Values below 1 select the
+	// default of 2.
+	Trigger int
+	// Clear is the number of consecutive calm windows after a fired event
+	// before the signal re-arms and may fire again. Values below 1 select
+	// Trigger.
+	Clear int
+	// MinInterval rate-limits events: after a signal fires, it stays
+	// silent for at least this many time units even if it re-arms sooner.
+	// Zero disables the limit.
+	MinInterval float64
+}
+
+func (c DriftConfig) withDefaults() DriftConfig {
+	if c.Trigger < 1 {
+		c.Trigger = 2
+	}
+	if c.Clear < 1 {
+		c.Clear = c.Trigger
+	}
+	return c
+}
+
+// DriftEvent is one fired drift detection.
+type DriftEvent struct {
+	// Time is the observation timestamp that completed the trigger run.
+	Time float64 `json:"t"`
+	// Signal names the watched series (e.g. a per-device prediction-error
+	// signal, or "overlap_distance").
+	Signal string `json:"signal"`
+	// Value is the observation that fired the event.
+	Value float64 `json:"value"`
+	// Threshold echoes the configured threshold.
+	Threshold float64 `json:"threshold"`
+	// Window is the caller's window index for the firing observation.
+	Window int64 `json:"window"`
+	// Consecutive is the length of the drifted-window run at fire time.
+	Consecutive int `json:"consecutive"`
+}
+
+// driftState is the per-signal hysteresis state machine.
+type driftState struct {
+	above     int  // consecutive drifted windows
+	below     int  // consecutive calm windows
+	armed     bool // may fire
+	fired     bool // has ever fired (gates MinInterval)
+	lastFired float64
+}
+
+// Detector watches named drift signals — per-window scalar observations such
+// as a device's utilization prediction error or the overlap-matrix distance
+// between workload refits — and fires structured, rate-limited events when a
+// signal stays beyond the threshold for Trigger consecutive windows.
+//
+// Fired events go to every configured sink: a *slog.Logger (warn records), a
+// JSONL event stream, and a metrics registry (a global drift_detected_total
+// counter plus one per signal). All sinks are optional. A nil *Detector
+// ignores all observations, preserving the package's zero-overhead-when-
+// disabled contract; a non-nil Detector is safe for concurrent use.
+type Detector struct {
+	mu      sync.Mutex
+	cfg     DriftConfig
+	logger  *slog.Logger
+	events  *JSONL
+	total   *Counter
+	reg     *Registry
+	signals map[string]*driftState
+	fired   []DriftEvent
+}
+
+// NewDetector builds a detector with the given hysteresis configuration and
+// optional sinks (any of logger, events, metrics may be nil).
+func NewDetector(cfg DriftConfig, logger *slog.Logger, events *JSONL, metrics *Registry) *Detector {
+	return &Detector{
+		cfg:     cfg.withDefaults(),
+		logger:  logger,
+		events:  events,
+		total:   metrics.Counter("drift_detected_total"),
+		reg:     metrics,
+		signals: map[string]*driftState{},
+	}
+}
+
+// Observe feeds one windowed observation of a signal: window is the caller's
+// window index, t the window's timestamp, value the signal value (compared to
+// the threshold by absolute value). It returns the fired event, or nil when
+// the observation did not fire. No-op on a nil detector.
+func (d *Detector) Observe(signal string, window int64, t, value float64) *DriftEvent {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	st, ok := d.signals[signal]
+	if !ok {
+		st = &driftState{armed: true}
+		d.signals[signal] = st
+	}
+	abs := value
+	if abs < 0 {
+		abs = -abs
+	}
+	var ev *DriftEvent
+	if abs >= d.cfg.Threshold {
+		st.above++
+		st.below = 0
+		rateOK := !st.fired || d.cfg.MinInterval <= 0 || t-st.lastFired >= d.cfg.MinInterval
+		if st.armed && st.above >= d.cfg.Trigger && rateOK {
+			st.armed = false
+			st.fired = true
+			st.lastFired = t
+			ev = &DriftEvent{
+				Time:        t,
+				Signal:      signal,
+				Value:       value,
+				Threshold:   d.cfg.Threshold,
+				Window:      window,
+				Consecutive: st.above,
+			}
+			d.fired = append(d.fired, *ev)
+		}
+	} else {
+		st.below++
+		st.above = 0
+		if !st.armed && st.below >= d.cfg.Clear {
+			st.armed = true
+		}
+	}
+	d.mu.Unlock()
+
+	if ev != nil {
+		d.total.Inc()
+		d.reg.Counter(Name("drift_detected_total", "signal", signal)).Inc()
+		if d.logger != nil {
+			d.logger.Warn("drift detected",
+				"signal", signal, "value", ev.Value, "threshold", ev.Threshold,
+				"window", ev.Window, "consecutive", ev.Consecutive, "t", ev.Time)
+		}
+		if d.events != nil {
+			_ = d.events.Write(ev)
+		}
+	}
+	return ev
+}
+
+// Events returns a copy of every event fired so far, in firing order. Nil
+// detectors return nil.
+func (d *Detector) Events() []DriftEvent {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]DriftEvent(nil), d.fired...)
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func observeN(d *Detector, signal string, start int64, t0 float64, values ...float64) []*DriftEvent {
+	var fired []*DriftEvent
+	for i, v := range values {
+		if ev := d.Observe(signal, start+int64(i), t0+float64(i), v); ev != nil {
+			fired = append(fired, ev)
+		}
+	}
+	return fired
+}
+
+func TestDetectorHysteresis(t *testing.T) {
+	d := NewDetector(DriftConfig{Threshold: 0.5, Trigger: 2, Clear: 2}, nil, nil, nil)
+
+	// One noisy window must not fire.
+	if ev := d.Observe("s", 0, 0, 0.9); ev != nil {
+		t.Fatalf("fired after a single drifted window: %+v", ev)
+	}
+	// Back to calm resets the run.
+	d.Observe("s", 1, 1, 0.1)
+	d.Observe("s", 2, 2, 0.9)
+	if ev := d.Observe("s", 3, 3, -0.8); ev == nil {
+		t.Fatal("two consecutive drifted windows did not fire")
+	} else if ev.Window != 3 || ev.Consecutive != 2 || ev.Value != -0.8 {
+		t.Fatalf("event = %+v", ev)
+	}
+	// Fired and disarmed: further drifted windows stay silent.
+	if fired := observeN(d, "s", 4, 4, 0.9, 0.9, 0.9); len(fired) != 0 {
+		t.Fatalf("disarmed detector fired %d more times", len(fired))
+	}
+	// Clear consecutive calm windows re-arm it.
+	d.Observe("s", 7, 7, 0.1)
+	d.Observe("s", 8, 8, 0.1)
+	if fired := observeN(d, "s", 9, 9, 0.9, 0.9); len(fired) != 1 {
+		t.Fatalf("re-armed detector fired %d times, want 1", len(fired))
+	}
+	if got := len(d.Events()); got != 2 {
+		t.Fatalf("total events = %d, want 2", got)
+	}
+}
+
+func TestDetectorMinInterval(t *testing.T) {
+	d := NewDetector(DriftConfig{Threshold: 0.5, Trigger: 1, Clear: 1, MinInterval: 10}, nil, nil, nil)
+	if ev := d.Observe("s", 0, 0, 1); ev == nil {
+		t.Fatal("trigger=1 did not fire on the first drifted window")
+	}
+	// Re-armed by a calm window, but still inside the rate-limit interval.
+	d.Observe("s", 1, 1, 0)
+	if ev := d.Observe("s", 2, 2, 1); ev != nil {
+		t.Fatalf("fired inside MinInterval: %+v", ev)
+	}
+	d.Observe("s", 3, 5, 0)
+	if ev := d.Observe("s", 4, 11, 1); ev == nil {
+		t.Fatal("did not fire after MinInterval elapsed")
+	}
+}
+
+func TestDetectorSignalsIndependent(t *testing.T) {
+	d := NewDetector(DriftConfig{Threshold: 0.5, Trigger: 2}, nil, nil, nil)
+	d.Observe("a", 0, 0, 0.9)
+	// b's first drifted window must not inherit a's run.
+	if ev := d.Observe("b", 0, 0, 0.9); ev != nil {
+		t.Fatalf("signal b fired off signal a's run: %+v", ev)
+	}
+	if ev := d.Observe("a", 1, 1, 0.9); ev == nil {
+		t.Fatal("signal a did not fire")
+	}
+}
+
+func TestDetectorSinks(t *testing.T) {
+	var events bytes.Buffer
+	reg := NewRegistry()
+	d := NewDetector(DriftConfig{Threshold: 0.5, Trigger: 1}, nil, NewJSONL(&events), reg)
+	d.Observe("util", 7, 42.5, 0.8)
+
+	if got := reg.Counter("drift_detected_total").Value(); got != 1 {
+		t.Fatalf("drift_detected_total = %d, want 1", got)
+	}
+	if got := reg.Counter(Name("drift_detected_total", "signal", "util")).Value(); got != 1 {
+		t.Fatalf("per-signal counter = %d, want 1", got)
+	}
+	var ev DriftEvent
+	if err := json.Unmarshal(bytes.TrimSpace(events.Bytes()), &ev); err != nil {
+		t.Fatalf("event stream not one JSON object: %v (%q)", err, events.String())
+	}
+	if ev.Signal != "util" || ev.Window != 7 || ev.Time != 42.5 || ev.Threshold != 0.5 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if !strings.Contains(events.String(), `"signal":"util"`) {
+		t.Fatalf("event JSON missing signal field: %q", events.String())
+	}
+}
+
+func TestDetectorNilSafe(t *testing.T) {
+	var d *Detector
+	if ev := d.Observe("s", 0, 0, 99); ev != nil {
+		t.Fatal("nil detector fired")
+	}
+	if d.Events() != nil {
+		t.Fatal("nil detector has events")
+	}
+	// A detector with every sink nil must still work.
+	live := NewDetector(DriftConfig{Threshold: 1, Trigger: 1}, nil, nil, nil)
+	if ev := live.Observe("s", 0, 0, 2); ev == nil {
+		t.Fatal("sink-less detector did not fire")
+	}
+}

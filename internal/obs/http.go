@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewHandler returns an http.Handler exposing the registry:
+//
+//	/metrics       Prometheus text exposition (version 0.0.4)
+//	/metrics.json  the same data as a single JSON object
+//	/series        every registered series with its full sample window
+//	/debug/pprof/  the standard runtime profiles
+//
+// The handler is safe under concurrent scrapes while the process is actively
+// recording: registry reads snapshot under the registry mutex and metric
+// reads are atomic. A nil registry serves empty expositions, so the endpoint
+// can be mounted unconditionally.
+func NewHandler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteProm(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/series", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteSeriesJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the exposition endpoint on addr (e.g. "localhost:0") in a
+// background goroutine and returns the server plus the bound address —
+// useful when addr requests an ephemeral port. The caller owns shutdown
+// (srv.Shutdown or srv.Close).
+func Serve(addr string, reg *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: NewHandler(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

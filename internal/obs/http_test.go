@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (string, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits_total").Add(3)
+	reg.Series("util", 8).Record(1, 0.5)
+	srv := httptest.NewServer(NewHandler(reg))
+	defer srv.Close()
+
+	body, ct := get(t, srv, "/metrics")
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(body, "hits_total 3") || !strings.Contains(body, "util 0.5") {
+		t.Errorf("/metrics body:\n%s", body)
+	}
+
+	body, ct = get(t, srv, "/metrics.json")
+	if ct != "application/json" {
+		t.Errorf("/metrics.json content type %q", ct)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatalf("/metrics.json invalid: %v", err)
+	}
+	if _, ok := m["hits_total"]; !ok {
+		t.Errorf("/metrics.json missing hits_total: %s", body)
+	}
+
+	body, _ = get(t, srv, "/series")
+	var series map[string]SeriesSnapshot
+	if err := json.Unmarshal([]byte(body), &series); err != nil {
+		t.Fatalf("/series invalid: %v", err)
+	}
+	if len(series["util"].Samples) != 1 {
+		t.Errorf("/series missing util samples: %s", body)
+	}
+
+	if body, _ = get(t, srv, "/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestHandlerNilRegistry(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(nil))
+	defer srv.Close()
+	if body, _ := get(t, srv, "/metrics"); body != "" {
+		t.Errorf("nil registry /metrics = %q", body)
+	}
+	if body, _ := get(t, srv, "/metrics.json"); strings.TrimSpace(body) != "{}" {
+		t.Errorf("nil registry /metrics.json = %q", body)
+	}
+}
+
+func TestServeEphemeralPort(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("g").Set(1)
+	srv, addr, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if strings.HasSuffix(addr, ":0") {
+		t.Fatalf("bound address %q still has port 0", addr)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "g 1") {
+		t.Errorf("metrics over Serve = %q", body)
+	}
+}

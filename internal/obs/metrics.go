@@ -45,9 +45,38 @@ func Name(family string, labelPairs ...string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", labelPairs[i], labelPairs[i+1])
+		b.WriteString(labelPairs[i])
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(labelPairs[i+1]))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
+	return b.String()
+}
+
+// EscapeLabelValue escapes a label value exactly as the Prometheus text
+// exposition format (version 0.0.4) specifies: backslash, double-quote and
+// line feed become `\\`, `\"` and `\n`; every other byte passes through
+// unchanged. Go's %q verb is not a substitute — it emits escapes the format
+// does not define (`\t`, `\xNN`, `ሴ`), which scrapers reject.
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
 	return b.String()
 }
 
@@ -378,6 +407,19 @@ func (r *Registry) WriteProm(w io.Writer) error {
 			if err := writePromHistogram(w, name, v.Snapshot()); err != nil {
 				return err
 			}
+		case *Series:
+			// A series exposes its most recent value as a gauge sample;
+			// the sample history is served by WriteSeriesJSON (/series).
+			if !typed[fam] {
+				typed[fam] = true
+				if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", fam); err != nil {
+					return err
+				}
+			}
+			last, _ := v.Last()
+			if _, err := fmt.Fprintf(w, "%s %g\n", name, last.V); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -429,6 +471,26 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				out[name] = v.Value()
 			case *Histogram:
 				out[name] = v.Snapshot()
+			case *Series:
+				out[name] = v.summary()
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteSeriesJSON renders every registered series as one JSON object mapping
+// series names to full snapshots including the retained sample windows —
+// the payload behind the /series HTTP endpoint. A nil registry writes an
+// empty object.
+func (r *Registry) WriteSeriesJSON(w io.Writer) error {
+	out := map[string]SeriesSnapshot{}
+	if r != nil {
+		names, m := r.snapshot()
+		for _, name := range names {
+			if s, ok := m[name].(*Series); ok {
+				out[name] = s.Snapshot()
 			}
 		}
 	}

@@ -199,6 +199,90 @@ func TestNameComposition(t *testing.T) {
 	}
 }
 
+// TestEscapeLabelValue pins the Prometheus text-format escaping rules: only
+// backslash, double quote and newline are escaped, and nothing else — %q-style
+// escapes (\t, \xNN, ሴ) are format violations scrapers reject.
+func TestEscapeLabelValue(t *testing.T) {
+	cases := map[string]string{
+		"plain":        "plain",
+		`disk\0`:       `disk\\0`,
+		`say "hi"`:     `say \"hi\"`,
+		"two\nlines":   `two\nlines`,
+		"tab\tstays":   "tab\tstays",
+		"utf8 διπλό":   "utf8 διπλό",
+		`a\"b` + "\nc": `a\\\"b\nc`,
+	}
+	for in, want := range cases {
+		if got := EscapeLabelValue(in); got != want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+	// End-to-end through Name: a hostile device name yields a valid
+	// exposition line.
+	name := Name("m_total", "device", "disk\"0\\a\nb")
+	if want := `m_total{device="disk\"0\\a\nb"}`; name != want {
+		t.Errorf("Name = %q, want %q", name, want)
+	}
+}
+
+// TestQuantileMeanEdgeCases covers the histogram snapshot reductions at the
+// boundaries: no data, one bucket, all mass in overflow, and q=0/q=1.
+func TestQuantileMeanEdgeCases(t *testing.T) {
+	empty := NewHistogram([]float64{1, 2}).Snapshot()
+	if got := empty.Mean(); got != 0 {
+		t.Errorf("empty mean = %g, want 0", got)
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty q%g = %g, want 0", q, got)
+		}
+	}
+
+	single := NewHistogram([]float64{10})
+	single.Observe(3)
+	single.Observe(7)
+	s := single.Snapshot()
+	if got := s.Mean(); got != 5 {
+		t.Errorf("single-bucket mean = %g, want 5", got)
+	}
+	// Every quantile of a single-bucket histogram is that bucket's bound;
+	// q=0 clamps its rank to the first observation rather than 0.
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(q); got != 10 {
+			t.Errorf("single-bucket q%g = %g, want 10", q, got)
+		}
+	}
+
+	over := NewHistogram([]float64{1})
+	over.Observe(5)
+	over.Observe(9)
+	s = over.Snapshot()
+	if got := s.Mean(); got != 7 {
+		t.Errorf("overflow mean = %g, want 7", got)
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(q); !math.IsInf(got, 1) {
+			t.Errorf("all-overflow q%g = %g, want +Inf", q, got)
+		}
+	}
+
+	mixed := NewHistogram([]float64{1, 2})
+	mixed.Observe(0.5) // le=1
+	mixed.Observe(1.5) // le=2
+	mixed.Observe(1.7) // le=2
+	mixed.Observe(9)   // +Inf
+	s = mixed.Snapshot()
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("q0 = %g, want 1 (first bucket)", got)
+	}
+	if got := s.Quantile(1); !math.IsInf(got, 1) {
+		t.Errorf("q1 = %g, want +Inf (last observation)", got)
+	}
+	if got := s.Quantile(0.75); got != 2 {
+		t.Errorf("q0.75 = %g, want 2", got)
+	}
+}
+
 func TestBucketHelpersAreValidBounds(t *testing.T) {
 	for name, bounds := range map[string][]float64{
 		"latency": LatencyBuckets(),

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"math"
+	"sync"
+)
+
+// DefaultSeriesCapacity is the ring capacity a Series gets when the caller
+// passes a non-positive capacity: enough window for rate and EWMA reductions
+// over the recent past without unbounded growth on long runs.
+const DefaultSeriesCapacity = 256
+
+// ewmaAlpha is the smoothing factor of the exponentially-weighted moving
+// average every Series maintains: each new sample contributes a quarter of
+// the updated average, so the EWMA tracks roughly the last ~8 samples.
+const ewmaAlpha = 0.25
+
+// Sample is one timestamped observation of a Series. T is in the recording
+// clock's units (simulated seconds for replay series, wall seconds
+// otherwise); V is the observed value.
+type Sample struct {
+	T float64 `json:"t"`
+	V float64 `json:"v"`
+}
+
+// Series is a fixed-capacity windowed time series: a ring buffer of
+// timestamped samples plus streaming reductions (EWMA, total count). Once
+// the ring is full the oldest sample is dropped, so a Series holds a sliding
+// window over the most recent observations — the raw material for the
+// rate/min/max/mean reductions its Snapshot exposes.
+//
+// A Series follows the package's nil contract: every method on a nil *Series
+// is a no-op (or returns a zero value), so instrumented code records
+// unconditionally. All methods are safe for concurrent use.
+type Series struct {
+	mu      sync.Mutex
+	samples []Sample // ring storage
+	head    int      // index of the oldest sample
+	n       int      // live samples in the ring
+	count   int64    // samples ever recorded
+	ewma    float64
+}
+
+// NewSeries returns an empty series retaining up to capacity samples
+// (DefaultSeriesCapacity when capacity <= 0).
+func NewSeries(capacity int) *Series {
+	if capacity <= 0 {
+		capacity = DefaultSeriesCapacity
+	}
+	return &Series{samples: make([]Sample, capacity)}
+}
+
+// Record appends one observation. Timestamps are expected to be
+// non-decreasing; the series stores what it is given and the window
+// reductions assume monotone time. No-op on a nil series.
+func (s *Series) Record(t, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := (s.head + s.n) % len(s.samples)
+	s.samples[i] = Sample{T: t, V: v}
+	if s.n < len(s.samples) {
+		s.n++
+	} else {
+		s.head = (s.head + 1) % len(s.samples)
+	}
+	if s.count == 0 {
+		s.ewma = v
+	} else {
+		s.ewma += ewmaAlpha * (v - s.ewma)
+	}
+	s.count++
+}
+
+// Len returns the number of samples currently retained (0 on nil).
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Last returns the most recent sample, reporting ok=false when the series is
+// empty or nil.
+func (s *Series) Last() (Sample, bool) {
+	if s == nil {
+		return Sample{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return Sample{}, false
+	}
+	return s.samples[(s.head+s.n-1)%len(s.samples)], true
+}
+
+// EWMA returns the exponentially-weighted moving average of all recorded
+// values (0 on an empty or nil series).
+func (s *Series) EWMA() float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ewma
+}
+
+// Rate returns the average change per time unit across the retained window:
+// (last.V - first.V) / (last.T - first.T). For a series recording a
+// cumulative quantity (bytes copied, requests issued) this is the recent
+// throughput. It returns 0 with fewer than two samples or a zero time span.
+func (s *Series) Rate() float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return rate(s.windowLocked())
+}
+
+// windowLocked returns the oldest and newest samples. Callers hold s.mu and
+// have checked nothing when n == 0 (both returns are zero samples).
+func (s *Series) windowLocked() (first, last Sample) {
+	if s.n == 0 {
+		return Sample{}, Sample{}
+	}
+	first = s.samples[s.head]
+	last = s.samples[(s.head+s.n-1)%len(s.samples)]
+	return first, last
+}
+
+func rate(first, last Sample) float64 {
+	if dt := last.T - first.T; dt > 0 {
+		return (last.V - first.V) / dt
+	}
+	return 0
+}
+
+// SeriesSnapshot is a point-in-time copy of a series: the retained samples
+// (omitted from the compact summaries WriteJSON emits) plus the window
+// reductions.
+type SeriesSnapshot struct {
+	Samples []Sample `json:"samples,omitempty"`
+	Count   int64    `json:"count"` // samples ever recorded
+	First   Sample   `json:"first"`
+	Last    Sample   `json:"last"`
+	Min     float64  `json:"min"`
+	Max     float64  `json:"max"`
+	Mean    float64  `json:"mean"`
+	Rate    float64  `json:"rate"` // (last-first)/(lastT-firstT) over the window
+	EWMA    float64  `json:"ewma"`
+}
+
+// Snapshot copies the series state, including the retained samples in
+// chronological order. On a nil or empty series it returns a zero snapshot.
+func (s *Series) Snapshot() SeriesSnapshot {
+	if s == nil {
+		return SeriesSnapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return SeriesSnapshot{}
+	}
+	out := SeriesSnapshot{
+		Samples: make([]Sample, s.n),
+		Count:   s.count,
+		Min:     math.Inf(1),
+		Max:     math.Inf(-1),
+		EWMA:    s.ewma,
+	}
+	var sum float64
+	for i := 0; i < s.n; i++ {
+		sm := s.samples[(s.head+i)%len(s.samples)]
+		out.Samples[i] = sm
+		sum += sm.V
+		if sm.V < out.Min {
+			out.Min = sm.V
+		}
+		if sm.V > out.Max {
+			out.Max = sm.V
+		}
+	}
+	out.First, out.Last = out.Samples[0], out.Samples[s.n-1]
+	out.Mean = sum / float64(s.n)
+	out.Rate = rate(out.First, out.Last)
+	return out
+}
+
+// summary returns the snapshot without the sample payload, the form
+// WriteJSON embeds.
+func (s *Series) summary() SeriesSnapshot {
+	snap := s.Snapshot()
+	snap.Samples = nil
+	return snap
+}
+
+// Series returns the series registered under name, creating it with the
+// given ring capacity on first use (later capacities are ignored;
+// non-positive selects DefaultSeriesCapacity). Returns nil (a no-op series)
+// on a nil registry. Series render as gauges of their last value in the
+// Prometheus exposition, as reduction summaries in WriteJSON, and with full
+// sample payloads in WriteSeriesJSON (the /series endpoint).
+func (r *Registry) Series(name string, capacity int) *Series {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, func() interface{} { return NewSeries(capacity) }).(*Series)
+}

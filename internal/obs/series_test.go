@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestSeriesRingEviction(t *testing.T) {
+	s := NewSeries(4)
+	for i := 0; i < 10; i++ {
+		s.Record(float64(i), float64(i*i))
+	}
+	if got := s.Len(); got != 4 {
+		t.Fatalf("len = %d, want 4", got)
+	}
+	snap := s.Snapshot()
+	if snap.Count != 10 {
+		t.Fatalf("count = %d, want 10", snap.Count)
+	}
+	// The retained window is the last four samples, chronological.
+	wantT := []float64{6, 7, 8, 9}
+	for i, sm := range snap.Samples {
+		if sm.T != wantT[i] || sm.V != wantT[i]*wantT[i] {
+			t.Fatalf("sample %d = %+v, want t=%g v=%g", i, sm, wantT[i], wantT[i]*wantT[i])
+		}
+	}
+	if snap.First.T != 6 || snap.Last.T != 9 {
+		t.Fatalf("first/last = %+v/%+v", snap.First, snap.Last)
+	}
+	if snap.Min != 36 || snap.Max != 81 {
+		t.Fatalf("min/max = %g/%g", snap.Min, snap.Max)
+	}
+	wantMean := (36.0 + 49 + 64 + 81) / 4
+	if math.Abs(snap.Mean-wantMean) > 1e-12 {
+		t.Fatalf("mean = %g, want %g", snap.Mean, wantMean)
+	}
+	// Rate over the window: (81-36)/(9-6) = 15.
+	if math.Abs(snap.Rate-15) > 1e-12 {
+		t.Fatalf("rate = %g, want 15", snap.Rate)
+	}
+	if got := s.Rate(); math.Abs(got-15) > 1e-12 {
+		t.Fatalf("Rate() = %g, want 15", got)
+	}
+}
+
+func TestSeriesEWMA(t *testing.T) {
+	s := NewSeries(8)
+	s.Record(0, 10)
+	if got := s.EWMA(); got != 10 {
+		t.Fatalf("ewma after first sample = %g, want 10 (seeded, not decayed from 0)", got)
+	}
+	s.Record(1, 20)
+	want := 10 + ewmaAlpha*(20-10)
+	if got := s.EWMA(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ewma = %g, want %g", got, want)
+	}
+}
+
+func TestSeriesEdgeCases(t *testing.T) {
+	var nilS *Series
+	nilS.Record(1, 2) // must not panic
+	if nilS.Len() != 0 || nilS.EWMA() != 0 || nilS.Rate() != 0 {
+		t.Fatal("nil series returned non-zero reductions")
+	}
+	if _, ok := nilS.Last(); ok {
+		t.Fatal("nil series has a last sample")
+	}
+	if snap := nilS.Snapshot(); snap.Count != 0 || snap.Samples != nil {
+		t.Fatalf("nil snapshot = %+v", snap)
+	}
+
+	empty := NewSeries(0) // default capacity
+	if snap := empty.Snapshot(); snap.Count != 0 {
+		t.Fatalf("empty snapshot = %+v", snap)
+	}
+	if empty.Rate() != 0 {
+		t.Fatal("empty series rate != 0")
+	}
+
+	one := NewSeries(2)
+	one.Record(5, 3)
+	if one.Rate() != 0 {
+		t.Fatal("single-sample rate != 0")
+	}
+	// Two samples at the same timestamp: zero span, rate stays 0.
+	one.Record(5, 9)
+	if one.Rate() != 0 {
+		t.Fatal("zero-span rate != 0")
+	}
+}
+
+func TestRegistrySeriesExposition(t *testing.T) {
+	r := NewRegistry()
+	s := r.Series(Name("copied_bytes", "device", "disk0"), 8)
+	s.Record(1, 100)
+	s.Record(2, 300)
+
+	var prom bytes.Buffer
+	if err := r.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE copied_bytes gauge\ncopied_bytes{device=\"disk0\"} 300\n"
+	if prom.String() != want {
+		t.Fatalf("prom output = %q, want %q", prom.String(), want)
+	}
+
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]SeriesSnapshot
+	if err := json.Unmarshal(js.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	sum := out[`copied_bytes{device="disk0"}`]
+	if sum.Count != 2 || sum.Last.V != 300 || sum.Samples != nil {
+		t.Fatalf("WriteJSON summary = %+v (samples must be omitted)", sum)
+	}
+
+	var sj bytes.Buffer
+	if err := r.WriteSeriesJSON(&sj); err != nil {
+		t.Fatal(err)
+	}
+	out = map[string]SeriesSnapshot{}
+	if err := json.Unmarshal(sj.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	full := out[`copied_bytes{device="disk0"}`]
+	if len(full.Samples) != 2 || full.Rate != 200 {
+		t.Fatalf("WriteSeriesJSON snapshot = %+v", full)
+	}
+
+	// Nil registry: accessor returns a usable no-op series, exposition is
+	// an empty object.
+	var nilR *Registry
+	nilR.Series("x", 4).Record(1, 2)
+	sj.Reset()
+	if err := nilR.WriteSeriesJSON(&sj); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(bytes.TrimSpace(sj.Bytes())); got != "{}" {
+		t.Fatalf("nil WriteSeriesJSON = %q", got)
+	}
+}

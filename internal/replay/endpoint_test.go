@@ -1,0 +1,129 @@
+// Endpoint concurrency lives in an external test package: the scenario
+// drives migrate.Execute, and migrate itself imports replay.
+package replay_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dblayout/internal/benchdb"
+	"dblayout/internal/layout"
+	"dblayout/internal/migrate"
+	"dblayout/internal/obs"
+	"dblayout/internal/replay"
+	"dblayout/internal/storage"
+)
+
+// TestConcurrentScrapesDuringReplayMigration hammers the exposition endpoint
+// from several goroutines while a foreground replay and an online migration
+// publish into the same registry. Run under -race, this is the "safe under
+// concurrent scrapes" contract of the HTTP layer.
+func TestConcurrentScrapesDuringReplayMigration(t *testing.T) {
+	cfg := storage.Disk15KConfig()
+	cfg.CapacityBytes = 64 << 20
+	cat := &benchdb.Catalog{Name: "tiny", Objects: []layout.Object{
+		{Name: "A", Size: 8 << 20},
+		{Name: "B", Size: 8 << 20},
+	}}
+	sys := &replay.System{
+		Objects: cat.Objects,
+		Devices: []replay.DeviceSpec{
+			{Name: "d0", Disk: &cfg},
+			{Name: "d1", Disk: &cfg},
+		},
+	}
+	current := layout.New(2, 2)
+	current.Set(0, 0, 1)
+	current.Set(1, 1, 1)
+	target := layout.New(2, 2) // swap the two objects
+	target.Set(0, 1, 1)
+	target.Set(1, 0, 1)
+	w := &benchdb.OLAPWorkload{
+		Name:    "tiny",
+		Catalog: cat,
+		Queries: []benchdb.Query{{Name: "q", Phases: []benchdb.Phase{{Streams: []benchdb.Stream{
+			{Object: "A", Bytes: 4 << 20},
+			{Object: "B", Bytes: 4 << 20},
+		}}}}},
+	}
+
+	reg := obs.NewRegistry()
+	srv := httptest.NewServer(obs.NewHandler(reg))
+	defer srv.Close()
+
+	done := make(chan struct{})
+	var scrapes atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			paths := []string{"/metrics", "/metrics.json", "/series"}
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				path := paths[i%len(paths)]
+				resp, err := srv.Client().Get(srv.URL + path)
+				if err != nil {
+					t.Errorf("GET %s: %v", path, err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					t.Errorf("GET %s: status %d err %v", path, resp.StatusCode, err)
+					return
+				}
+				if strings.HasSuffix(path, ".json") || path == "/series" {
+					var m map[string]json.RawMessage
+					if err := json.Unmarshal(body, &m); err != nil {
+						t.Errorf("GET %s: torn JSON under concurrency: %v", path, err)
+						return
+					}
+				}
+				scrapes.Add(1)
+			}
+		}()
+	}
+
+	res, err := migrate.Execute(sys, current, target, w,
+		replay.Options{Seed: 1, Metrics: reg, Windows: &replay.WindowConfig{Size: 0.05}},
+		migrate.Options{Metrics: reg, ChunkBytes: 256 << 10})
+	// The simulated run can outpace real HTTP round-trips; keep the
+	// scrapers going until each has covered every path at least once, so
+	// the test asserts successful scrapes rather than a wall-clock race.
+	for scrapes.Load() < 12 && !t.Failed() {
+		time.Sleep(time.Millisecond)
+	}
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Migration.Done {
+		t.Fatal("migration did not finish")
+	}
+
+	// The final exposition reflects both publishers.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"replay_requests_total", "migration_state 2", "migration_copied_bytes"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("final /metrics missing %q", want)
+		}
+	}
+}

@@ -48,6 +48,11 @@ type Options struct {
 	// Honoured by RunOLAP and RunIdle (RunOLTP and RunConsolidated run to
 	// a fixed horizon and would truncate background work arbitrarily).
 	Background func(*BackgroundIO)
+	// Windows, when non-nil, enables windowed model-validation
+	// instrumentation: per-device observed-utilization series, prediction
+	// error against the supplied model predictions, and optional drift
+	// detection. See WindowConfig.
+	Windows *WindowConfig
 }
 
 func (o Options) withDefaults() Options {
@@ -98,6 +103,9 @@ type runner struct {
 	// appear in its Prometheus/JSON output); otherwise they are private
 	// to the run and only surface as result snapshots.
 	latency []*obs.Histogram
+	// windows is the per-window utilization observer (nil unless
+	// Options.Windows was set).
+	windows *windowObserver
 }
 
 func newRunner(sys *System, l *layout.Layout, opt Options) (*runner, *storage.Trace, error) {
@@ -133,7 +141,7 @@ func newRunner(sys *System, l *layout.Layout, opt Options) (*runner, *storage.Tr
 			latency[i] = obs.NewHistogram(obs.LatencyBuckets())
 		}
 	}
-	return &runner{
+	r := &runner{
 		sys:      sys,
 		eng:      eng,
 		devices:  devices,
@@ -143,7 +151,18 @@ func newRunner(sys *System, l *layout.Layout, opt Options) (*runner, *storage.Tr
 		prefetch: opt.PrefetchDepth,
 		opt:      opt,
 		latency:  latency,
-	}, tr, nil
+	}
+	if opt.Windows != nil {
+		names := make([]string, len(devices))
+		for j, d := range devices {
+			names[j] = d.Name()
+		}
+		r.windows, err = newWindowObserver(eng, devices, names, opt.Metrics, *opt.Windows)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return r, tr, nil
 }
 
 // submit routes a request through the engine, recording its completion
@@ -167,6 +186,7 @@ func (r *runner) submit(dev storage.Device, req *storage.Request) {
 // histograms. When a metrics registry is configured the aggregates are also
 // published there, and a configured logger receives a summary record.
 func (r *runner) observe(elapsed float64) ([]float64, []storage.DeviceStats, []obs.HistogramSnapshot) {
+	r.windows.finish(elapsed)
 	utils := make([]float64, len(r.devices))
 	stats := make([]storage.DeviceStats, len(r.devices))
 	for j, d := range r.devices {

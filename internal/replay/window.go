@@ -1,0 +1,130 @@
+package replay
+
+import (
+	"fmt"
+
+	"dblayout/internal/obs"
+	"dblayout/internal/storage"
+)
+
+// WindowConfig enables windowed model-validation instrumentation on a replay:
+// the run is cut into fixed-width windows of simulated time and, at each
+// window boundary, the observer records every device's busy fraction over the
+// window as a time series and — when predictions are supplied — the
+// prediction error (observed minus predicted utilization), feeding an
+// optional drift detector. This is the predicted-vs-observed comparison the
+// paper's validation rests on, maintained online instead of once at the end
+// of a run.
+type WindowConfig struct {
+	// Size is the window width in simulated seconds (default 1).
+	Size float64
+	// Predicted holds the cost model's predicted steady-state utilization
+	// per device, in System.Devices order (e.g. layout.Evaluator
+	// Utilizations for the replayed layout). When set, the observer
+	// maintains a model_prediction_error series per device; when nil only
+	// observed utilizations are recorded.
+	Predicted []float64
+	// Detector, when non-nil, receives one prediction-error observation
+	// per device per window (signal prediction_error{device=...}), firing
+	// drift events per its hysteresis configuration. Requires Predicted.
+	Detector *obs.Detector
+	// Capacity is the series ring capacity (default
+	// obs.DefaultSeriesCapacity).
+	Capacity int
+}
+
+func (c WindowConfig) withDefaults() WindowConfig {
+	if c.Size <= 0 {
+		c.Size = 1
+	}
+	return c
+}
+
+// windowObserver ticks as an engine daemon once per window, differencing
+// device busy time to get the per-window busy fraction. Daemon events never
+// extend the run, so the observer is free to reschedule itself forever.
+type windowObserver struct {
+	eng      *storage.Engine
+	devices  []storage.Device
+	cfg      WindowConfig
+	util     []*obs.Series // observed busy fraction per window
+	errs     []*obs.Series // observed minus predicted (nil without predictions)
+	lastBusy []float64
+	lastT    float64
+	window   int64
+	closed   bool
+}
+
+// newWindowObserver validates cfg against the run and registers the window
+// series. A nil registry is fine: the series degrade to no-ops while the
+// detector still sees every observation.
+func newWindowObserver(eng *storage.Engine, devices []storage.Device, names []string, reg *obs.Registry, cfg WindowConfig) (*windowObserver, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Predicted != nil && len(cfg.Predicted) != len(devices) {
+		return nil, fmt.Errorf("replay: %d predicted utilizations for %d devices", len(cfg.Predicted), len(devices))
+	}
+	if cfg.Detector != nil && cfg.Predicted == nil {
+		return nil, fmt.Errorf("replay: window drift detector requires predicted utilizations")
+	}
+	o := &windowObserver{
+		eng:      eng,
+		devices:  devices,
+		cfg:      cfg,
+		util:     make([]*obs.Series, len(devices)),
+		lastBusy: make([]float64, len(devices)),
+	}
+	if cfg.Predicted != nil {
+		o.errs = make([]*obs.Series, len(devices))
+	}
+	for j, name := range names {
+		o.util[j] = reg.Series(obs.Name("replay_device_window_utilization", "device", name), cfg.Capacity)
+		if o.errs != nil {
+			o.errs[j] = reg.Series(obs.Name("model_prediction_error", "device", name), cfg.Capacity)
+			reg.Gauge(obs.Name("model_predicted_utilization", "device", name)).Set(cfg.Predicted[j])
+		}
+	}
+	eng.ScheduleDaemon(cfg.Size, o.tick)
+	return o, nil
+}
+
+// tick closes the window ending now and schedules the next one.
+func (o *windowObserver) tick() {
+	o.flush(o.eng.Now())
+	o.eng.ScheduleDaemon(o.eng.Now()+o.cfg.Size, o.tick)
+}
+
+// flush records one window [lastT, t) if it has positive width.
+func (o *windowObserver) flush(t float64) {
+	dt := t - o.lastT
+	if dt <= 0 {
+		return
+	}
+	for j, d := range o.devices {
+		busy := d.Stats().BusyTime
+		u := (busy - o.lastBusy[j]) / dt
+		o.lastBusy[j] = busy
+		o.util[j].Record(t, u)
+		if o.errs != nil {
+			e := u - o.cfg.Predicted[j]
+			o.errs[j].Record(t, e)
+			o.cfg.Detector.Observe(
+				obs.Name("prediction_error", "device", d.Name()),
+				o.window, t, e)
+		}
+	}
+	o.window++
+	o.lastT = t
+}
+
+// finish closes the observer at the end of the run, emitting the trailing
+// partial window only when it spans at least half a window — a sliver of a
+// window measures noise, not utilization.
+func (o *windowObserver) finish(elapsed float64) {
+	if o == nil || o.closed {
+		return
+	}
+	o.closed = true
+	if elapsed-o.lastT >= o.cfg.Size/2 {
+		o.flush(elapsed)
+	}
+}

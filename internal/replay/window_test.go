@@ -1,0 +1,103 @@
+package replay
+
+import (
+	"testing"
+
+	"dblayout/internal/benchdb"
+	"dblayout/internal/layout"
+	"dblayout/internal/obs"
+)
+
+// TestReplayWindowSeries runs a small OLAP replay with the window observer
+// enabled and checks the observed-utilization and prediction-error series
+// come out populated, plausible, and wired into the drift detector.
+func TestReplayWindowSeries(t *testing.T) {
+	w := benchdb.OLAP121()
+	w.Queries = w.Queries[:3]
+	sys := fourDisks(w.Catalog)
+	see := layout.SEE(len(sys.Objects), len(sys.Devices))
+
+	reg := obs.NewRegistry()
+	// Predict zero utilization everywhere: the prediction error then equals
+	// the observed utilization, so a busy replay must trip the detector.
+	pred := make([]float64, len(sys.Devices))
+	det := obs.NewDetector(obs.DriftConfig{Threshold: 0.05, Trigger: 2}, nil, nil, reg)
+	res, err := RunOLAP(sys, see, w, Options{
+		Seed:    1,
+		Metrics: reg,
+		Windows: &WindowConfig{Size: 0.5, Predicted: pred, Detector: det},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantWindows := int(res.Elapsed / 0.5)
+	for _, dev := range []string{"d0", "d1", "d2", "d3"} {
+		util := reg.Series(obs.Name("replay_device_window_utilization", "device", dev), 0)
+		snap := util.Snapshot()
+		if snap.Count == 0 {
+			t.Fatalf("device %s: no utilization windows recorded (elapsed %g)", dev, res.Elapsed)
+		}
+		// Count is total windows seen; the ring retains only the newest
+		// DefaultSeriesCapacity of them.
+		if wantWindows >= 2 && snap.Count < int64(wantWindows-1) {
+			t.Errorf("device %s: %d windows recorded, want ~%d", dev, snap.Count, wantWindows)
+		}
+		for _, s := range snap.Samples {
+			if s.V < 0 || s.V > 1.000001 {
+				t.Errorf("device %s: window utilization %g out of [0,1]", dev, s.V)
+			}
+		}
+		errs := reg.Series(obs.Name("model_prediction_error", "device", dev), 0)
+		if got := errs.Snapshot().Count; got != snap.Count {
+			t.Errorf("device %s: %d error windows vs %d utilization windows", dev, got, snap.Count)
+		}
+		if g := reg.Gauge(obs.Name("model_predicted_utilization", "device", dev)); g.Value() != 0 {
+			t.Errorf("device %s: predicted gauge = %g, want 0", dev, g.Value())
+		}
+	}
+	if len(det.Events()) == 0 {
+		t.Fatal("drift detector saw every window above threshold but never fired")
+	}
+	if got := reg.Counter("drift_detected_total").Value(); got != int64(len(det.Events())) {
+		t.Errorf("drift_detected_total = %d, want %d", got, len(det.Events()))
+	}
+}
+
+// TestReplayWindowConfigValidation pins the two misconfiguration errors.
+func TestReplayWindowConfigValidation(t *testing.T) {
+	w := benchdb.OLAP121()
+	w.Queries = w.Queries[:1]
+	sys := fourDisks(w.Catalog)
+	see := layout.SEE(len(sys.Objects), len(sys.Devices))
+
+	if _, err := RunOLAP(sys, see, w, Options{
+		Windows: &WindowConfig{Predicted: []float64{0.5}}, // wrong length
+	}); err == nil {
+		t.Error("mismatched Predicted length accepted")
+	}
+	if _, err := RunOLAP(sys, see, w, Options{
+		Windows: &WindowConfig{Detector: obs.NewDetector(obs.DriftConfig{Threshold: 1}, nil, nil, nil)},
+	}); err == nil {
+		t.Error("detector without predictions accepted")
+	}
+}
+
+// TestReplayWindowNoRegistry checks the observer runs without a registry: the
+// detector still sees every window.
+func TestReplayWindowNoRegistry(t *testing.T) {
+	w := benchdb.OLAP121()
+	w.Queries = w.Queries[:2]
+	sys := fourDisks(w.Catalog)
+	see := layout.SEE(len(sys.Objects), len(sys.Devices))
+	det := obs.NewDetector(obs.DriftConfig{Threshold: 0.05, Trigger: 1}, nil, nil, nil)
+	if _, err := RunOLAP(sys, see, w, Options{
+		Seed:    1,
+		Windows: &WindowConfig{Size: 0.5, Predicted: make([]float64, len(sys.Devices)), Detector: det},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Events()) == 0 {
+		t.Fatal("detector silent on a registry-less run")
+	}
+}

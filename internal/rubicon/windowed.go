@@ -1,0 +1,156 @@
+package rubicon
+
+import (
+	"math"
+
+	"dblayout/internal/rome"
+	"dblayout/internal/storage"
+)
+
+// WindowFit is the workload model fitted over one refit window of the trace
+// stream.
+type WindowFit struct {
+	// Window is the refit window index (0-based, counted from the first
+	// record; empty windows are skipped and do not appear as fits).
+	Window int64
+	// Start and End bound the window in trace time.
+	Start, End float64
+	// Set is the workload model fitted from this window's records alone.
+	Set *rome.Set
+	// Requests is the number of records the window saw.
+	Requests int64
+	// OverlapDistance is the distance between this window's fitted overlap
+	// matrix and the previous fitted window's (0 for the first fit) — the
+	// workload-composition drift signal: a workload whose rates merely
+	// scale keeps its overlap structure, while a phase change (OLTP
+	// daytime giving way to OLAP reporting) reshapes which objects are
+	// co-active and moves this distance.
+	OverlapDistance float64
+}
+
+// Windowed cuts the trace stream into fixed-width refit windows and fits an
+// independent workload model per window, exposing the distance between
+// successive fitted overlap matrices as a drift signal. It implements
+// storage.Tracer, so it can ride the same engine hook as a whole-run Fitter.
+//
+// Records must arrive in non-decreasing time order (the order a simulation
+// produces them). The final, partial window is fitted by Flush.
+type Windowed struct {
+	// OnFit, when non-nil, is invoked synchronously as each window's fit
+	// completes — the hook a drift detector observes.
+	OnFit func(WindowFit)
+
+	names []string
+	opts  Options
+	size  float64
+
+	cur      *Fitter
+	started  bool
+	first    float64 // time of the very first record (window origin)
+	curIdx   int64   // index of the window cur accumulates
+	curReqs  int64
+	prev     *rome.Set
+	fits     []WindowFit
+	firstErr error
+}
+
+// NewWindowed prepares a windowed fitter over the named objects. size is the
+// refit window width in trace seconds (values <= 0 select 16× the per-fitter
+// overlap window, a span wide enough for stable rate estimates).
+func NewWindowed(names []string, size float64, opts Options) *Windowed {
+	opts = opts.withDefaults()
+	if size <= 0 {
+		size = 16 * opts.WindowSize
+	}
+	return &Windowed{names: names, opts: opts, size: size}
+}
+
+// Size returns the refit window width in trace seconds.
+func (w *Windowed) Size() float64 { return w.size }
+
+// Record implements storage.Tracer, rolling the refit window forward as the
+// trace time crosses window boundaries.
+func (w *Windowed) Record(rec storage.TraceRecord) {
+	if !w.started {
+		w.started = true
+		w.first = rec.Time
+		w.cur = NewFitter(w.names, w.opts)
+	}
+	idx := int64((rec.Time - w.first) / w.size)
+	if idx > w.curIdx {
+		w.finalize()
+		w.curIdx = idx
+		w.cur = NewFitter(w.names, w.opts)
+	}
+	w.cur.Record(rec)
+	w.curReqs++
+}
+
+// finalize fits the current window (if it saw any records) and resets the
+// per-window counters.
+func (w *Windowed) finalize() {
+	if w.cur == nil || w.curReqs == 0 {
+		return
+	}
+	set, err := w.cur.Fit()
+	if err != nil {
+		if w.firstErr == nil {
+			w.firstErr = err
+		}
+		w.curReqs = 0
+		return
+	}
+	fit := WindowFit{
+		Window:   w.curIdx,
+		Start:    w.first + float64(w.curIdx)*w.size,
+		End:      w.first + float64(w.curIdx+1)*w.size,
+		Set:      set,
+		Requests: w.curReqs,
+	}
+	if w.prev != nil {
+		fit.OverlapDistance = OverlapDistance(w.prev, set)
+	}
+	w.prev = set
+	w.curReqs = 0
+	w.fits = append(w.fits, fit)
+	if w.OnFit != nil {
+		w.OnFit(fit)
+	}
+}
+
+// Flush fits the trailing partial window and returns every fit in window
+// order, or the first error any window's fit reported.
+func (w *Windowed) Flush() ([]WindowFit, error) {
+	w.finalize()
+	w.cur = nil
+	if w.firstErr != nil {
+		return nil, w.firstErr
+	}
+	return w.fits, nil
+}
+
+// OverlapDistance measures how far apart two fitted workload sets' overlap
+// matrices are: the mean absolute difference over the distinct pairs (i < j),
+// in [0, 1]. Sets of different sizes compare over their common prefix; sets
+// with fewer than two common workloads are at distance 0.
+func OverlapDistance(a, b *rome.Set) float64 {
+	if a == nil || b == nil {
+		return 0
+	}
+	n := len(a.Workloads)
+	if len(b.Workloads) < n {
+		n = len(b.Workloads)
+	}
+	if n < 2 {
+		return 0
+	}
+	var sum float64
+	var pairs int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sum += math.Abs(a.Overlap(i, j) - b.Overlap(i, j))
+			pairs++
+		}
+	}
+	return sum / float64(pairs)
+}

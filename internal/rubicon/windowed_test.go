@@ -1,0 +1,124 @@
+package rubicon
+
+import (
+	"math"
+	"testing"
+
+	"dblayout/internal/rome"
+	"dblayout/internal/storage"
+)
+
+// phaseTrace feeds w a hand-built two-phase trace: objects A(0)+B(1)
+// co-active over [0,10), then A(0)+C(2) over [10,20). Each active object
+// issues one sequential 8 KB read every 0.1 s.
+func phaseTrace(w *Windowed) {
+	rec := func(t float64, obj int, i int) {
+		w.Record(storage.TraceRecord{Time: t, Object: obj, Stream: uint64(obj + 1),
+			Target: "d", Offset: int64(i) * 8192, Size: 8192})
+	}
+	for i := 0; i < 100; i++ {
+		t := float64(i) * 0.1
+		rec(t, 0, i)
+		rec(t, 1, i)
+	}
+	for i := 0; i < 100; i++ {
+		t := 10 + float64(i)*0.1
+		rec(t, 0, 100+i)
+		rec(t, 2, i)
+	}
+}
+
+func TestWindowedPhaseChangeMovesOverlapDistance(t *testing.T) {
+	w := NewWindowed([]string{"A", "B", "C"}, 10, Options{WindowSize: 1})
+	var seen []WindowFit
+	w.OnFit = func(f WindowFit) { seen = append(seen, f) }
+	phaseTrace(w)
+	fits, err := w.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fits) != 2 {
+		t.Fatalf("got %d fits, want 2 (one per phase)", len(fits))
+	}
+	if len(seen) != len(fits) {
+		t.Fatalf("OnFit saw %d fits, Flush returned %d", len(seen), len(fits))
+	}
+	f0, f1 := fits[0], fits[1]
+	if f0.Window != 0 || f1.Window != 1 {
+		t.Fatalf("window indices %d/%d, want 0/1", f0.Window, f1.Window)
+	}
+	if f0.Requests != 200 || f1.Requests != 200 {
+		t.Fatalf("window requests %d/%d, want 200/200", f0.Requests, f1.Requests)
+	}
+	if f0.Start != 0 || f0.End != 10 || f1.Start != 10 || f1.End != 20 {
+		t.Fatalf("window bounds [%g,%g)/[%g,%g)", f0.Start, f0.End, f1.Start, f1.End)
+	}
+	// Phase 1: A and B co-active, C idle.
+	if o := f0.Set.Overlap(0, 1); o < 0.5 {
+		t.Errorf("phase-1 overlap(A,B) = %g, want high", o)
+	}
+	if o := f0.Set.Overlap(0, 2); o != 0 {
+		t.Errorf("phase-1 overlap(A,C) = %g, want 0", o)
+	}
+	// Phase 2 swaps B for C, reshaping the overlap matrix: the (A,B) and
+	// (A,C) entries both move by ~1, so the mean over the 3 pairs is ~2/3.
+	if f0.OverlapDistance != 0 {
+		t.Errorf("first fit distance = %g, want 0 (no predecessor)", f0.OverlapDistance)
+	}
+	if f1.OverlapDistance < 0.5 {
+		t.Errorf("phase-change distance = %g, want >= 0.5", f1.OverlapDistance)
+	}
+}
+
+func TestWindowedSkipsEmptyWindows(t *testing.T) {
+	w := NewWindowed([]string{"A"}, 1, Options{WindowSize: 0.1})
+	// Records only in windows 0 and 3; windows 1-2 see nothing.
+	for _, tm := range []float64{0.1, 0.5, 3.2, 3.7} {
+		w.Record(storage.TraceRecord{Time: tm, Object: 0, Stream: 1, Target: "d", Size: 8192})
+	}
+	fits, err := w.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fits) != 2 || fits[0].Window != 0 || fits[1].Window != 3 {
+		t.Fatalf("fits = %+v, want windows 0 and 3 only", fits)
+	}
+}
+
+func TestWindowedDefaultSize(t *testing.T) {
+	w := NewWindowed([]string{"A"}, 0, Options{WindowSize: 2})
+	if got := w.Size(); got != 32 {
+		t.Fatalf("default refit size = %g, want 16x overlap window = 32", got)
+	}
+}
+
+func TestOverlapDistanceCases(t *testing.T) {
+	mk := func(rows ...[]float64) *rome.Set {
+		s := &rome.Set{}
+		for i, row := range rows {
+			s.Workloads = append(s.Workloads, &rome.Workload{Name: string(rune('a' + i)), Overlap: row})
+		}
+		return s
+	}
+	a := mk([]float64{1, 0.8}, []float64{0.8, 1})
+	b := mk([]float64{1, 0.2}, []float64{0.2, 1})
+	if got := OverlapDistance(a, b); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("distance = %g, want 0.6", got)
+	}
+	if got := OverlapDistance(a, a); got != 0 {
+		t.Errorf("self distance = %g, want 0", got)
+	}
+	if got := OverlapDistance(nil, a); got != 0 {
+		t.Errorf("nil distance = %g, want 0", got)
+	}
+	single := mk([]float64{1})
+	if got := OverlapDistance(single, single); got != 0 {
+		t.Errorf("single-workload distance = %g, want 0", got)
+	}
+	// Different sizes compare over the common prefix: a 3-object set vs a
+	// 2-object set uses only the (0,1) pair.
+	big := mk([]float64{1, 0.8, 0.5}, []float64{0.8, 1, 0.5}, []float64{0.5, 0.5, 1})
+	if got := OverlapDistance(big, b); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("mixed-size distance = %g, want 0.6", got)
+	}
+}

@@ -90,6 +90,7 @@ type Engine struct {
 	now       float64
 	seq       uint64
 	events    eventHeap
+	daemons   eventHeap
 	tracer    Tracer
 	devices   []Device
 	submitted int64
@@ -120,6 +121,20 @@ func (e *Engine) Schedule(at float64, fn func()) {
 // After schedules fn to run delay seconds from now.
 func (e *Engine) After(delay float64, fn func()) {
 	e.Schedule(e.now+delay, fn)
+}
+
+// ScheduleDaemon registers fn to run at simulation time at, but only while
+// real events remain on the calendar. Daemon events carry periodic
+// bookkeeping — window observers, progress samplers — that must tick during
+// a run yet must never keep the simulation alive: a daemon that reschedules
+// itself does not extend the run, and pending daemons are dropped when the
+// calendar drains. Like Schedule, scheduling in the past panics.
+func (e *Engine) ScheduleDaemon(at float64, fn func()) {
+	if at < e.now || math.IsNaN(at) {
+		panic(fmt.Sprintf("storage: schedule daemon at %g before now %g", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.daemons, event{at: at, seq: e.seq, fn: fn})
 }
 
 // register attaches a device to the engine for stats reporting.
@@ -159,10 +174,20 @@ func (e *Engine) noteService(st float64) { e.service += st }
 func (e *Engine) ServiceTime() float64 { return e.service }
 
 // Step executes the next pending event and returns false when the calendar
-// is empty.
+// is empty. Daemon events due at or before the next real event run first (in
+// time order), so periodic observers see the clock advance even through long
+// gaps between real events; a daemon may schedule real events, which the
+// loop condition re-reads.
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
+	}
+	for len(e.daemons) > 0 && e.daemons[0].at <= e.events[0].at {
+		d := heap.Pop(&e.daemons).(event)
+		if d.at > e.now {
+			e.now = d.at
+		}
+		d.fn()
 	}
 	ev := heap.Pop(&e.events).(event)
 	e.now = ev.at

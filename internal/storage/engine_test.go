@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"fmt"
 	"math"
 	"testing"
 )
@@ -316,4 +317,84 @@ func TestDeterminism(t *testing.T) {
 	if a, b := run(), run(); a != b {
 		t.Fatalf("simulation not deterministic: %g vs %g", a, b)
 	}
+}
+
+// TestEngineDaemonTicks verifies daemon events interleave with real events in
+// time order but never extend the run: the daemon below self-reschedules
+// forever, yet the run still ends at the last real event.
+func TestEngineDaemonTicks(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(1.0, func() { order = append(order, "real@1") })
+	e.Schedule(3.0, func() { order = append(order, "real@3") })
+	var tick func()
+	tick = func() {
+		order = append(order, fmt.Sprintf("tick@%g", e.Now()))
+		e.ScheduleDaemon(e.Now()+0.5, tick)
+	}
+	e.ScheduleDaemon(0.5, tick)
+	if got := e.Run(0); got != 3.0 {
+		t.Fatalf("final time = %g, want 3.0 (daemon must not extend run)", got)
+	}
+	// A daemon due exactly at a real event's time runs before it.
+	want := []string{"tick@0.5", "tick@1", "real@1", "tick@1.5", "tick@2", "tick@2.5", "tick@3", "real@3"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	// The still-pending daemon does not count as a pending real event.
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", e.Pending())
+	}
+}
+
+// TestEngineDaemonSchedulesRealEvent pins that a daemon may inject real
+// events: the loop re-reads the calendar head, so the injected event runs at
+// its own time, not after the next pre-existing real event.
+func TestEngineDaemonSchedulesRealEvent(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(10, func() { order = append(order, "real@10") })
+	e.ScheduleDaemon(1, func() {
+		order = append(order, "tick@1")
+		e.Schedule(2, func() { order = append(order, "injected@2") })
+	})
+	e.Run(0)
+	want := []string{"tick@1", "injected@2", "real@10"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestEngineDaemonNeedsRealEvents: with nothing but daemons on the calendar,
+// the engine does not run them — bookkeeping has nothing to observe.
+func TestEngineDaemonNeedsRealEvents(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.ScheduleDaemon(1, func() { fired = true })
+	if got := e.Run(0); got != 0 {
+		t.Fatalf("final time = %g, want 0", got)
+	}
+	if fired {
+		t.Fatal("daemon fired with no real events on the calendar")
+	}
+}
+
+func TestEngineScheduleDaemonPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1.0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling a daemon in the past did not panic")
+			}
+		}()
+		e.ScheduleDaemon(0.5, func() {})
+	})
+	e.Run(0)
 }
