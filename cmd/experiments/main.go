@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig8|fig11|fig15|fig17|fig18|fig19|fig20|ablation|degraded|migration|drift]
-//	            [-quick] [-seed N] [-v | -log-level L] [-trace-out solver.jsonl]
+//	experiments [-run all|fig8|fig11|fig15|fig17|fig18|fig19|fig20|ablation|degraded|migration|drift|autonomic|chaos]
+//	            [-quick] [-seed N] [-seeds N] [-v | -log-level L] [-trace-out solver.jsonl]
 //	            [-metrics-out metrics.prom] [-metrics-flush 5s]
 //	            [-listen addr] [-listen-hold 30s]
 //	            [-drift-events events.jsonl]
@@ -30,9 +30,10 @@ import (
 )
 
 func main() {
-	which := flag.String("run", "all", "experiment to run: all, fig8, fig11, fig15, fig17, fig18, fig19, fig20, ablation, degraded, migration, drift")
+	which := flag.String("run", "all", "experiment to run: all, fig8, fig11, fig15, fig17, fig18, fig19, fig20, ablation, degraded, migration, drift, autonomic, chaos")
 	quick := flag.Bool("quick", false, "reduced scale (coarse calibration, fewer queries)")
 	seed := flag.Int64("seed", 1, "replay and solver seed")
+	seeds := flag.Int("seeds", 0, "chaos campaign scenario count (0 = default 50)")
 	workers := flag.Int("workers", 0, "solver restart parallelism (0 = auto, 1 = serial); results are identical at any worker count")
 	driftEvents := flag.String("drift-events", "", "write the drift experiment's detection events as JSON lines to this file")
 	var cli obs.CLI
@@ -190,6 +191,26 @@ func main() {
 		}
 		fmt.Println("Drift study — diurnal OLTP->OLAP shift, windowed detection:")
 		fmt.Print(experiments.DriftTable(res))
+		return nil
+	})
+
+	run("autonomic", func() error {
+		res, err := experiments.Autonomic(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Autonomic control loop — detect, re-advise, migrate, cool down:")
+		fmt.Print(experiments.AutonomicTable(res))
+		return nil
+	})
+
+	run("chaos", func() error {
+		rep, err := experiments.Chaos(cfg, *seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Chaos campaign — crash-safe controller under fault injection:")
+		fmt.Print(experiments.ChaosTable(rep))
 		return nil
 	})
 

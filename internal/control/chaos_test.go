@@ -1,0 +1,120 @@
+package control
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestChaosScenarioQuiet: no fault injection beyond random crash budgets —
+// the drift episode must detect, migrate once and settle.
+func TestChaosScenarioQuiet(t *testing.T) {
+	rep, err := RunChaosScenario(ChaosScenario{Seed: 1})
+	if err != nil {
+		t.Fatalf("scenario: %v (report %+v)", err, rep)
+	}
+	if rep.Epochs < 1 {
+		t.Fatalf("no migration epoch completed: %+v", rep)
+	}
+	if !rep.ReachedSteadyState {
+		t.Fatalf("no steady state: %+v", rep)
+	}
+}
+
+// TestChaosScenarioCrashEveryRecord is the exhaustive crash schedule: every
+// session is allowed exactly one more journal record, so the controller
+// crash-restarts at every single record boundary of its own journal and must
+// still converge with exactly one migration.
+func TestChaosScenarioCrashEveryRecord(t *testing.T) {
+	rep, err := RunChaosScenario(ChaosScenario{Seed: 7, CrashEveryRecord: true, TornWrites: true})
+	if err != nil {
+		t.Fatalf("scenario: %v (report %+v)", err, rep)
+	}
+	if rep.Crashes < 20 {
+		t.Fatalf("crash-at-every-record schedule crashed only %d times: %+v", rep.Crashes, rep)
+	}
+	if rep.Epochs != 1 {
+		t.Fatalf("want exactly 1 completed epoch across all crashes, got %d: %+v", rep.Epochs, rep)
+	}
+}
+
+// TestChaosScenarioDeviceFault: a device dies mid-episode; the loop must
+// abort, retry into the repair path, and settle on a layout off the dead
+// device.
+func TestChaosScenarioDeviceFault(t *testing.T) {
+	for s := int64(1); s <= 6; s++ {
+		rep, err := RunChaosScenario(ChaosScenario{Seed: s, DeviceFault: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v (report %+v)", s, err, rep)
+		}
+		if rep.Aborts > 0 && !rep.FinalLayoutIsRepair {
+			t.Fatalf("seed %d: aborted but never repaired: %+v", s, rep)
+		}
+	}
+}
+
+// TestChaosScenarioDriftBack: the workload shifts back right after the first
+// migration — during cooldown. The detection must be deferred (never acted
+// on mid-cooldown) and then serviced, for two completed epochs total.
+func TestChaosScenarioDriftBack(t *testing.T) {
+	rep, err := RunChaosScenario(ChaosScenario{Seed: 3, DriftBack: true})
+	if err != nil {
+		t.Fatalf("scenario: %v (report %+v)", err, rep)
+	}
+	if rep.Epochs < 2 {
+		t.Fatalf("drift-back expected 2 epochs, got %d: %+v", rep.Epochs, rep)
+	}
+}
+
+// TestChaosScenarioCorruptTail: a flipped byte in the durable journal must be
+// detected as ErrControllerCorrupt, never silently acted on.
+func TestChaosScenarioCorruptTail(t *testing.T) {
+	rep, err := RunChaosScenario(ChaosScenario{Seed: 11, CorruptTail: true})
+	if err != nil {
+		t.Fatalf("scenario: %v (report %+v)", err, rep)
+	}
+	if rep.CorruptionsCaught != 1 {
+		t.Fatalf("corruption was injected but not caught: %+v", rep)
+	}
+}
+
+// TestChaosScenarioDeterminism: a scenario is a pure function of its seed.
+func TestChaosScenarioDeterminism(t *testing.T) {
+	sc := ChaosScenario{Seed: 5, TornWrites: true, DeviceFault: true, DriftBack: true}
+	a, errA := RunChaosScenario(sc)
+	b, errB := RunChaosScenario(sc)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("determinism: errors diverge: %v vs %v", errA, errB)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("determinism: reports diverge:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestChaosCampaign is the acceptance campaign: 50 seeded scenarios cycling
+// through every fault combination — crash-at-every-record schedules, torn
+// writes, corrupt tails, device faults, drift during cooldown — with zero
+// invariant violations.
+func TestChaosCampaign(t *testing.T) {
+	n := 50
+	if testing.Short() {
+		n = 12
+	}
+	rep, err := RunChaosCampaign(ChaosCampaignConfig{Scenarios: n, BaseSeed: 42})
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	if len(rep.Scenarios) != n {
+		t.Fatalf("ran %d of %d scenarios", len(rep.Scenarios), n)
+	}
+	if rep.Crashes == 0 || rep.Epochs < n {
+		t.Fatalf("campaign exercised too little: %d crashes, %d epochs over %d scenarios",
+			rep.Crashes, rep.Epochs, n)
+	}
+	for i, r := range rep.Scenarios {
+		if !r.ReachedSteadyState {
+			t.Fatalf("scenario %d (seed %d) did not reach steady state: %+v", i, r.Seed, r)
+		}
+	}
+	t.Logf("campaign: %d sessions, %d crashes survived, %d epochs, %d aborts, %d give-ups",
+		rep.Sessions, rep.Crashes, rep.Epochs, rep.Aborts, rep.GiveUps)
+}

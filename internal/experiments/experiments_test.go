@@ -312,3 +312,61 @@ func TestQuickDrift(t *testing.T) {
 		}
 	}
 }
+
+func TestQuickAutonomic(t *testing.T) {
+	cfg := NewQuickConfig()
+	res, err := Autonomic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SteadyActions != 0 {
+		t.Errorf("steady replay provoked %d controller actions, want 0", res.SteadyActions)
+	}
+	if !res.Detected {
+		t.Fatal("controller never detected the shift")
+	}
+	if res.Epochs != 1 {
+		t.Fatalf("controller completed %d migration epochs, want 1:\n%s", res.Epochs, AutonomicTable(res))
+	}
+	if res.MigratedBytes <= 0 || res.Gain <= 0 {
+		t.Errorf("degenerate migration: %d bytes for gain %.4f", res.MigratedBytes, res.Gain)
+	}
+	if res.MigrateDoneTime <= res.MigrateStartTime || res.CooldownEnd <= res.MigrateDoneTime {
+		t.Errorf("loop times out of order: start %.1f, done %.1f, cooldown end %.1f",
+			res.MigrateStartTime, res.MigrateDoneTime, res.CooldownEnd)
+	}
+	if res.FinalDriftUtil >= res.InitialDriftUtil {
+		t.Errorf("migration did not improve the night workload: %.3f -> %.3f",
+			res.InitialDriftUtil, res.FinalDriftUtil)
+	}
+	if res.FinalPhase != "observing" {
+		t.Errorf("controller ended in phase %s, want observing", res.FinalPhase)
+	}
+	if !res.JournalConsistent {
+		t.Error("recovered journal does not reproduce the live controller state")
+	}
+	tbl := AutonomicTable(res)
+	for _, want := range []string{"autonomic loop:", "detected in refit window",
+		"recovery consistent with live state"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("AutonomicTable missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func TestQuickChaos(t *testing.T) {
+	cfg := NewQuickConfig()
+	rep, err := Chaos(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != 4 {
+		t.Fatalf("campaign ran %d scenarios, want 4", len(rep.Scenarios))
+	}
+	if rep.Crashes == 0 || rep.Epochs == 0 {
+		t.Errorf("campaign too tame: %d crashes, %d epochs", rep.Crashes, rep.Epochs)
+	}
+	if !strings.Contains(ChaosTable(rep), "all invariants held") {
+		t.Error("ChaosTable missing summary line")
+	}
+}

@@ -3,6 +3,7 @@ package migrate
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"dblayout/internal/layout"
 	"dblayout/internal/obs"
@@ -139,6 +140,12 @@ type Engine struct {
 	gateDepth  int // max tolerated queue depth, -1 = no gating
 	failedSrc  map[int]bool
 
+	// pendingAbort, when non-nil, holds the failed targets of an abort
+	// decision recovered from a rollback record whose abort record the
+	// crash swallowed; Start completes it before any other work.
+	pendingAbort       []int
+	pendingAbortReason string
+
 	stopped bool
 	res     Result
 	onDone  func(*Result)
@@ -219,6 +226,13 @@ func NewEngine(sim IO, base *layout.Layout, steps []Step, opt Options, done func
 		if len(ck.State) != len(steps) {
 			return nil, fmt.Errorf("migrate: checkpoint covers %d steps, script has %d", len(ck.State), len(steps))
 		}
+		if ck.PendingAbort {
+			e.pendingAbort = append([]int{}, ck.Failed...)
+			e.pendingAbortReason = ck.PendingAbortReason
+			if e.pendingAbortReason == "" {
+				e.pendingAbortReason = "device fault (recovered rollback)"
+			}
+		}
 		copy(e.state, ck.State)
 		copy(e.progress, ck.Progress)
 		for i, st := range e.state {
@@ -260,6 +274,12 @@ func (e *Engine) Start() {
 		if !e.journal(Record{T: "plan", Steps: e.steps, Scratch: &scratch}) {
 			return
 		}
+	} else if e.pendingAbort != nil {
+		// The previous run decided to abort (it rolled a step back on a
+		// device fault) but crashed before the abort record. Complete
+		// that decision now, exactly once.
+		e.completeAbort(e.pendingAbort, e.pendingAbortReason)
+		return
 	}
 	e.next()
 }
@@ -457,21 +477,37 @@ func (e *Engine) commit() {
 // fault reacts to a failed device: the in-flight step rolls back (its
 // partial destination copy is abandoned; the source copy, if the source
 // survives, remains authoritative), the abort is journaled, and the engine
-// stops in a consistent layout for RecommendRepair to replan from.
+// stops in a consistent layout for RecommendRepair to replan from. The
+// rollback record carries the failed targets so a crash between it and the
+// abort record can still complete the abort on resume — without that, the
+// resume would skip the rolled-back step and a repeatedly faulting device
+// could turn an abort into a silent no-op "done".
 func (e *Engine) fault(dev int, reason string) {
 	if e.state[e.cur] == StateCopying {
-		if !e.journal(Record{T: "state", Step: e.cur, State: StateRolledBack.String()}) {
+		if !e.journal(Record{T: "state", Step: e.cur, State: StateRolledBack.String(),
+			Failed: []int{dev}, Reason: reason}) {
 			return
 		}
 		e.state[e.cur] = StateRolledBack
 		e.progress[e.cur] = 0
 	}
-	if !e.journal(Record{T: "abort", Failed: []int{dev}, Reason: reason}) {
+	e.completeAbort([]int{dev}, reason)
+}
+
+// completeAbort journals the abort record and finishes the migration as
+// aborted. Called from fault and from a resume whose checkpoint rolled a step
+// back but crashed before this record landed.
+func (e *Engine) completeAbort(failed []int, reason string) {
+	if !e.journal(Record{T: "abort", Failed: failed, Reason: reason}) {
 		return
 	}
+	names := make([]string, len(failed))
+	for i, dev := range failed {
+		names[i] = e.io.DeviceName(dev)
+	}
 	e.res.Aborted = true
-	e.res.FailedTargets = []int{dev}
-	e.res.Err = &AbortError{Failed: []int{dev}, Reason: fmt.Sprintf("%s (%s)", reason, e.io.DeviceName(dev))}
+	e.res.FailedTargets = failed
+	e.res.Err = &AbortError{Failed: failed, Reason: fmt.Sprintf("%s (%s)", reason, strings.Join(names, ", "))}
 	e.mAborts.Inc()
 	e.finish()
 }

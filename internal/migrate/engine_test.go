@@ -436,6 +436,81 @@ func TestDestinationFailureAbortsRollsBackAndReplans(t *testing.T) {
 	}
 }
 
+// TestCrashBetweenRollbackAndAbortCompletesOnResume pins the fault-crash
+// protocol: the fault handler journals the step rollback and then the abort
+// record, and a crash landing exactly between the two must not let a resume
+// skip the rolled-back step and run the rest of the script — that path can
+// turn a device fault into a silent "done" that committed nothing. The
+// rollback record carries the failed target, and the resumed engine's first
+// act is to complete the abort.
+func TestCrashBetweenRollbackAndAbortCompletesOnResume(t *testing.T) {
+	for budget := 1; budget < 200; budget++ {
+		sys, from, to := migrationFixture()
+		sys.Devices[4].Faults = &storage.FaultSchedule{Fail: &storage.FailFault{At: 0.05}}
+		buf := &bytes.Buffer{}
+		w := &crashWriter{buf: buf, remaining: budget}
+		_, _ = Execute(sys, from, to, nil, replay.Options{Seed: 1}, Options{
+			Scratch: fixtureScratch(),
+			Journal: w,
+		})
+		durable := TruncateTorn(buf.Bytes())
+		records, err := DecodeJournal(durable)
+		if err != nil {
+			t.Fatalf("budget %d: surviving journal corrupt: %v", budget, err)
+		}
+		ck, err := Recover(records)
+		if err != nil {
+			t.Fatalf("budget %d: surviving journal unrecoverable: %v", budget, err)
+		}
+		if !ck.PendingAbort {
+			continue // crash landed elsewhere; not the window under test
+		}
+		if len(ck.Failed) != 1 || ck.Failed[0] != 4 {
+			t.Fatalf("pending abort lost the failed target: %v", ck.Failed)
+		}
+
+		// Resume on the still-degraded system: the engine must finish the
+		// abort as its very first record and report the fault upward.
+		sys2, from2, to2 := migrationFixture()
+		sys2.Devices[4].Faults = &storage.FaultSchedule{Fail: &storage.FailFault{At: 0}}
+		buf2 := bytes.NewBuffer(append([]byte(nil), durable...))
+		res, err := Execute(sys2, from2, to2, nil, replay.Options{Seed: 1}, Options{
+			Scratch: fixtureScratch(),
+			Journal: buf2,
+			Resume:  durable,
+		})
+		if !errors.Is(err, ErrMigrationAborted) {
+			t.Fatalf("resume = %v, want ErrMigrationAborted", err)
+		}
+		m := res.Migration
+		if !m.Aborted || m.Done {
+			t.Fatalf("resumed result not aborted: %+v", m)
+		}
+		if len(m.FailedTargets) != 1 || m.FailedTargets[0] != 4 {
+			t.Fatalf("resumed abort reports targets %v, want [4]", m.FailedTargets)
+		}
+		if m.JournalRecords != 1 {
+			t.Fatalf("resume appended %d records, want exactly the abort", m.JournalRecords)
+		}
+		if m.DeviceBytes != 0 {
+			t.Fatalf("resume issued %d bytes of device I/O while completing an abort", m.DeviceBytes)
+		}
+		records, err = DecodeJournal(buf2.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck, err = Recover(records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ck.Aborted || ck.PendingAbort {
+			t.Fatalf("completed journal = %+v, want aborted", ck)
+		}
+		return
+	}
+	t.Fatal("no crash budget landed between the rollback and abort records")
+}
+
 func TestExecuteResumeRejectsMismatchedPlan(t *testing.T) {
 	sys, from, to := migrationFixture()
 	var journal bytes.Buffer

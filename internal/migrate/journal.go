@@ -3,10 +3,12 @@ package migrate
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
-	"strconv"
+
+	"dblayout/internal/layout"
+	"dblayout/internal/wal"
 )
 
 // StepState is the write-ahead state machine each step advances through.
@@ -15,6 +17,11 @@ import (
 //
 //	planned -> copying -> copied -> committed
 //	                   -> rolledback            (on a device fault)
+//
+// A rollback is always followed by the fault's abort record; the rollback
+// record carries the failed targets so a crash between the two can be
+// completed on resume (see Checkpoint.PendingAbort). The only records legal
+// after a rollback are that abort or nothing (the crash).
 type StepState uint8
 
 const (
@@ -43,10 +50,9 @@ func parseStepState(name string) (StepState, bool) {
 	return 0, false
 }
 
-// Record is one journal entry. The journal is a sequence of lines, each
-// "%08x %s\n": the IEEE CRC32 of the JSON body followed by the body. A
-// record is durable only once its newline is written, so a torn final line
-// is ignored on decode; corruption anywhere else is an error.
+// Record is one journal entry. The journal uses the CRC-framed line protocol
+// of internal/wal: a record is durable only once its newline is written, so a
+// torn final line is ignored on decode; corruption anywhere else is an error.
 type Record struct {
 	// T is the record type: "plan", "state", "progress", "abort", "done".
 	T string `json:"t"`
@@ -60,7 +66,9 @@ type Record struct {
 	State string `json:"state,omitempty"` // state: the new StepState
 	Done  int64  `json:"done,omitempty"`  // progress: bytes copied so far for Step
 
-	// abort: the migration stopped on a device fault.
+	// abort: the migration stopped on a device fault. A rolledback state
+	// record carries the same fields, so the abort decision survives a
+	// crash landing between the rollback and the abort record.
 	Failed []int  `json:"failed,omitempty"`
 	Reason string `json:"reason,omitempty"`
 }
@@ -81,8 +89,7 @@ func (j *journalWriter) append(r Record) error {
 	if err != nil {
 		return err
 	}
-	_, err = fmt.Fprintf(j.w, "%08x %s\n", crc32.ChecksumIEEE(body), body)
-	return err
+	return wal.Append(j.w, body)
 }
 
 // DecodeJournal parses journal bytes into records. A torn final line (no
@@ -90,16 +97,22 @@ func (j *journalWriter) append(r Record) error {
 // malformation returns a *CorruptError wrapping ErrJournalCorrupt. It never
 // panics, regardless of input.
 func DecodeJournal(data []byte) ([]Record, error) {
-	var out []Record
-	for len(data) > 0 {
-		nl := bytes.IndexByte(data, '\n')
-		if nl < 0 {
-			break // torn tail
+	bodies, err := wal.Frames(data)
+	if err != nil {
+		var fe *wal.FrameError
+		if errors.As(err, &fe) {
+			return nil, &CorruptError{Record: fe.Index, Reason: fe.Reason}
 		}
-		line := data[:nl]
-		data = data[nl+1:]
-		rec, err := decodeLine(line, len(out))
+		return nil, &CorruptError{Reason: err.Error()}
+	}
+	out := make([]Record, 0, len(bodies))
+	for i, body := range bodies {
+		rec, err := DecodeRecordBody(body)
 		if err != nil {
+			var ce *CorruptError
+			if errors.As(err, &ce) {
+				ce.Record = i
+			}
 			return nil, err
 		}
 		out = append(out, rec)
@@ -112,26 +125,17 @@ func DecodeJournal(data []byte) ([]Record, error) {
 // Resuming callers truncate the journal file likewise before appending, so
 // new records are never glued onto a torn line.
 func TruncateTorn(data []byte) []byte {
-	if i := bytes.LastIndexByte(data, '\n'); i >= 0 {
-		return data[:i+1]
-	}
-	return nil
+	return wal.TruncateTorn(data)
 }
 
-func decodeLine(line []byte, idx int) (Record, error) {
+// DecodeRecordBody parses one CRC-validated frame body into a migration
+// Record, rejecting unknown fields and unknown record types. Journals that
+// interleave migration records with their own (internal/control) route frames
+// here after inspecting the type tag. The returned *CorruptError has Record 0;
+// callers that know the frame index fill it in.
+func DecodeRecordBody(body []byte) (Record, error) {
 	corrupt := func(format string, args ...interface{}) (Record, error) {
-		return Record{}, &CorruptError{Record: idx, Reason: fmt.Sprintf(format, args...)}
-	}
-	if len(line) < 10 || line[8] != ' ' {
-		return corrupt("malformed line %q", truncate(line))
-	}
-	sum, err := strconv.ParseUint(string(line[:8]), 16, 32)
-	if err != nil {
-		return corrupt("bad checksum field %q", string(line[:8]))
-	}
-	body := line[9:]
-	if got := crc32.ChecksumIEEE(body); got != uint32(sum) {
-		return corrupt("checksum mismatch: have %08x, body sums to %08x", uint32(sum), got)
+		return Record{}, &CorruptError{Reason: fmt.Sprintf(format, args...)}
 	}
 	var rec Record
 	dec := json.NewDecoder(bytes.NewReader(body))
@@ -147,14 +151,6 @@ func decodeLine(line []byte, idx int) (Record, error) {
 	return rec, nil
 }
 
-func truncate(b []byte) string {
-	const max = 40
-	if len(b) > max {
-		return string(b[:max]) + "..."
-	}
-	return string(b)
-}
-
 // Checkpoint is the durable state recovered from a journal: the script being
 // executed and how far each step got. An engine given a Checkpoint resumes
 // exactly there — committed steps are skipped, a copied step is re-committed
@@ -166,8 +162,17 @@ type Checkpoint struct {
 	State    []StepState
 	Progress []int64 // journaled copied-bytes per step (only meaningful while copying)
 	Aborted  bool
-	Failed   []int // failed targets, when Aborted
+	Failed   []int // failed targets, when Aborted or PendingAbort
 	Done     bool
+
+	// PendingAbort marks a journal that ends after a step rollback but
+	// before the abort record the fault handler writes next: the crash
+	// landed between the two. The rolled-back step must not be skipped as
+	// if the migration could still succeed — a resumed engine completes
+	// the abort (using Failed and PendingAbortReason from the rollback
+	// record) before doing anything else, making the abort exactly-once.
+	PendingAbort       bool
+	PendingAbortReason string
 }
 
 // CommittedSteps counts steps that reached StateCommitted.
@@ -179,6 +184,18 @@ func (c *Checkpoint) CommittedSteps() int {
 		}
 	}
 	return n
+}
+
+// ApplyCommitted applies every committed step to l, reconstructing the
+// consistent layout a journal left behind (base plus committed moves).
+// Journal-replaying callers (internal/control) use it to roll closed
+// migration epochs forward.
+func (c *Checkpoint) ApplyCommitted(l *layout.Layout) {
+	for i, s := range c.State {
+		if s == StateCommitted {
+			applyStep(l, c.Steps[i])
+		}
+	}
 }
 
 // CommittedBytes sums the bytes of committed steps.
@@ -208,6 +225,9 @@ func Recover(records []Record) (*Checkpoint, error) {
 	for i, r := range records {
 		if ck != nil && (ck.Aborted || ck.Done) {
 			return corrupt(i, "record after terminal %s", records[i-1].T)
+		}
+		if ck != nil && ck.PendingAbort && r.T != "abort" {
+			return corrupt(i, "%s record after a rollback; only its abort may follow", r.T)
 		}
 		if ck == nil {
 			if r.T != "plan" {
@@ -245,6 +265,11 @@ func Recover(records []Record) (*Checkpoint, error) {
 				return corrupt(i, "step %d cannot go %v -> %v", r.Step, cur, next)
 			}
 			ck.State[r.Step] = next
+			if next == StateRolledBack {
+				ck.PendingAbort = true
+				ck.Failed = r.Failed
+				ck.PendingAbortReason = r.Reason
+			}
 		case "progress":
 			if r.Step < 0 || r.Step >= len(ck.Steps) {
 				return corrupt(i, "progress for step %d of %d", r.Step, len(ck.Steps))
@@ -260,9 +285,13 @@ func Recover(records []Record) (*Checkpoint, error) {
 		case "abort":
 			ck.Aborted = true
 			ck.Failed = r.Failed
+			ck.PendingAbort = false
+			ck.PendingAbortReason = ""
 		case "done":
+			// A fault always ends in an abort, so a rolled-back step can
+			// never be part of a completed migration.
 			for s, st := range ck.State {
-				if st != StateCommitted && st != StateRolledBack {
+				if st != StateCommitted {
 					return corrupt(i, "done with step %d still %v", s, st)
 				}
 			}

@@ -141,11 +141,49 @@ func TestRecoverRejectsImpossibleHistories(t *testing.T) {
 		{"step out of range", []Record{plan, {T: "state", Step: 9, State: "copying"}}},
 		{"record after done", []Record{plan, {T: "abort"}, {T: "done"}}},
 		{"premature done", []Record{plan, {T: "done"}}},
+		{"state after rollback", []Record{plan,
+			{T: "state", Step: 0, State: "copying"},
+			{T: "state", Step: 0, State: "rolledback", Failed: []int{1}},
+			{T: "state", Step: 1, State: "copying"}}},
+		{"done after rollback", []Record{plan,
+			{T: "state", Step: 0, State: "copying"},
+			{T: "state", Step: 0, State: "rolledback", Failed: []int{1}},
+			{T: "done"}}},
 	}
 	for _, tc := range cases {
 		if _, err := Recover(tc.records); !errors.Is(err, ErrJournalCorrupt) {
 			t.Errorf("%s: Recover = %v, want ErrJournalCorrupt", tc.name, err)
 		}
+	}
+}
+
+// TestRecoverPendingAbort: a journal ending right after a rollback record —
+// the crash landed before the fault's abort record — recovers with the abort
+// decision intact, and the abort record clears it.
+func TestRecoverPendingAbort(t *testing.T) {
+	steps := sampleSteps()
+	plan := Record{T: "plan", Steps: steps}
+	pending := []Record{plan,
+		{T: "state", Step: 0, State: "copying"},
+		{T: "state", Step: 0, State: "rolledback", Failed: []int{2}, Reason: "write failed"}}
+
+	ck, err := Recover(pending)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck.PendingAbort || ck.Aborted {
+		t.Fatalf("checkpoint = %+v, want pending abort, not aborted", ck)
+	}
+	if len(ck.Failed) != 1 || ck.Failed[0] != 2 || ck.PendingAbortReason != "write failed" {
+		t.Fatalf("pending abort lost the fault: failed=%v reason=%q", ck.Failed, ck.PendingAbortReason)
+	}
+
+	ck, err = Recover(append(pending, Record{T: "abort", Failed: []int{2}, Reason: "write failed"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.PendingAbort || !ck.Aborted {
+		t.Fatalf("checkpoint = %+v, want aborted with no pending abort", ck)
 	}
 }
 

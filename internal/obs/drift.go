@@ -21,7 +21,11 @@ type DriftConfig struct {
 	Clear int
 	// MinInterval rate-limits events: after a signal fires, it stays
 	// silent for at least this many time units even if it re-arms sooner.
-	// Zero disables the limit.
+	// It also provides the second re-arm path: sustained drift (which
+	// never accumulates Clear calm windows) re-arms the signal once
+	// MinInterval has elapsed, so persistent drift fires at the
+	// MinInterval cadence rather than going silent after the first event.
+	// Zero disables the limit, leaving calm-window re-arming only.
 	MinInterval float64
 }
 
@@ -118,6 +122,15 @@ func (d *Detector) Observe(signal string, window int64, t, value float64) *Drift
 		st.above++
 		st.below = 0
 		rateOK := !st.fired || d.cfg.MinInterval <= 0 || t-st.lastFired >= d.cfg.MinInterval
+		// With a rate limit configured, sustained drift re-arms the signal
+		// once the limit has elapsed: drift that persists (or returns before
+		// Clear calm windows ever accumulate) keeps firing at the MinInterval
+		// cadence instead of going silent forever after the first event.
+		// Without a rate limit the signal re-arms only via Clear calm
+		// windows, the original pure-hysteresis contract.
+		if !st.armed && st.fired && d.cfg.MinInterval > 0 && rateOK {
+			st.armed = true
+		}
 		if st.armed && st.above >= d.cfg.Trigger && rateOK {
 			st.armed = false
 			st.fired = true

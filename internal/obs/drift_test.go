@@ -63,6 +63,58 @@ func TestDetectorMinInterval(t *testing.T) {
 	}
 }
 
+// TestDetectorSustainedDriftRefires pins the re-arm/MinInterval interaction:
+// drift that never goes calm cannot accumulate Clear calm windows, so with a
+// rate limit configured the signal must re-arm on the limit alone and keep
+// firing at the MinInterval cadence. (Before the fix, a fired signal under
+// sustained drift went silent forever and MinInterval was unreachable.)
+func TestDetectorSustainedDriftRefires(t *testing.T) {
+	d := NewDetector(DriftConfig{Threshold: 0.5, Trigger: 2, Clear: 2, MinInterval: 5}, nil, nil, nil)
+	fired := observeN(d, "s", 0, 0, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9)
+	if len(fired) != 3 {
+		t.Fatalf("sustained drift over 12 windows fired %d times, want 3 (t=1, 6, 11)", len(fired))
+	}
+	for i, want := range []float64{1, 6, 11} {
+		if fired[i].Time != want {
+			t.Fatalf("event %d fired at t=%g, want %g", i, fired[i].Time, want)
+		}
+	}
+}
+
+// TestDetectorRefireAfterPartialCalm: drift returning mid-way through the
+// calm-window countdown resets the countdown; with a rate limit the signal
+// still re-fires once the interval elapses, with fresh Trigger hysteresis.
+func TestDetectorRefireAfterPartialCalm(t *testing.T) {
+	d := NewDetector(DriftConfig{Threshold: 0.5, Trigger: 2, Clear: 3, MinInterval: 4}, nil, nil, nil)
+	if fired := observeN(d, "s", 0, 0, 0.9, 0.9); len(fired) != 1 {
+		t.Fatalf("initial drift fired %d times", len(fired))
+	}
+	// One calm window (countdown 1 of 3), then drift returns: the calm
+	// countdown resets and never completes, so only the rate limit can
+	// re-arm. It elapses at t=5 (lastFired=1 + MinInterval 4) with the new
+	// drift run already past Trigger → exactly one refire, at t=5.
+	d.Observe("s", 2, 2, 0.1)
+	fired := observeN(d, "s", 3, 3, 0.9, 0.9, 0.9, 0.9)
+	if len(fired) != 1 {
+		t.Fatalf("drift during calm countdown refired %d times, want 1", len(fired))
+	}
+	if ev := fired[0]; ev.Time != 5 || ev.Consecutive != 3 {
+		t.Fatalf("refire event = %+v, want t=5 with 3 consecutive", ev)
+	}
+}
+
+// TestDetectorNoRateLimitKeepsPureHysteresis: with MinInterval zero the
+// original contract stands — once fired, only Clear calm windows re-arm.
+func TestDetectorNoRateLimitKeepsPureHysteresis(t *testing.T) {
+	d := NewDetector(DriftConfig{Threshold: 0.5, Trigger: 1, Clear: 2}, nil, nil, nil)
+	if ev := d.Observe("s", 0, 0, 0.9); ev == nil {
+		t.Fatal("did not fire")
+	}
+	if fired := observeN(d, "s", 1, 1, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9); len(fired) != 0 {
+		t.Fatalf("sustained drift refired %d times without a rate limit", len(fired))
+	}
+}
+
 func TestDetectorSignalsIndependent(t *testing.T) {
 	d := NewDetector(DriftConfig{Threshold: 0.5, Trigger: 2}, nil, nil, nil)
 	d.Observe("a", 0, 0, 0.9)

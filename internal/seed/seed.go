@@ -35,6 +35,12 @@ const (
 	StreamCalibrate
 	// StreamRepair derives the solver seed of failure-aware repair solves.
 	StreamRepair
+	// StreamControl derives the autonomic controller's per-(epoch, attempt)
+	// streams: re-advise solver seeds and retry-backoff jitter.
+	StreamControl
+	// StreamChaos derives the per-scenario streams of the controller chaos
+	// campaign (workload synthesis, fault schedules, crash points).
+	StreamChaos
 )
 
 // Sub derives the seed of an independent pseudo-random stream from a base
