@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig8|fig11|fig15|fig17|fig18|fig19|fig20|ablation|degraded|migration|drift|autonomic|chaos]
+//	experiments [-run all|fig8|fig11|fig15|fig17|fig18|fig19|fig20|ablation|degraded|migration|drift|autonomic|chaos|fleet]
 //	            [-quick] [-seed N] [-seeds N] [-v | -log-level L] [-trace-out solver.jsonl]
 //	            [-metrics-out metrics.prom] [-metrics-flush 5s]
 //	            [-listen addr] [-listen-hold 30s]
@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	which := flag.String("run", "all", "experiment to run: all, fig8, fig11, fig15, fig17, fig18, fig19, fig20, ablation, degraded, migration, drift, autonomic, chaos")
+	which := flag.String("run", "all", "experiment to run: all, fig8, fig11, fig15, fig17, fig18, fig19, fig20, ablation, degraded, migration, drift, autonomic, chaos, fleet")
 	quick := flag.Bool("quick", false, "reduced scale (coarse calibration, fewer queries)")
 	seed := flag.Int64("seed", 1, "replay and solver seed")
 	seeds := flag.Int("seeds", 0, "chaos campaign scenario count (0 = default 50)")
@@ -211,6 +211,16 @@ func main() {
 		}
 		fmt.Println("Chaos campaign — crash-safe controller under fault injection:")
 		fmt.Print(experiments.ChaosTable(rep))
+		return nil
+	})
+
+	run("fleet", func() error {
+		rows, err := experiments.Fleet(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fleet-scale study — sparse pruned transfer vs. hierarchical decomposition:")
+		fmt.Print(experiments.FleetTable(rows))
 		return nil
 	})
 

@@ -41,6 +41,15 @@ const (
 	// result. Ties on the objective break toward the earlier solver in
 	// that fixed order, so the outcome is deterministic.
 	SolverPortfolio
+	// SolverHierarchical decomposes fleet-scale problems (tens of
+	// thousands of objects) along their co-access structure: cluster
+	// objects, partition targets among the clusters, solve each
+	// subproblem independently with the transfer search, then reconcile
+	// globally with a bounded pruned pass. Problems the decomposition
+	// cannot handle (administrative constraints, a single cluster, an
+	// infeasible target split) fall back to the flat transfer search.
+	// See Options.Hierarchical.
+	SolverHierarchical
 )
 
 // String names the solver.
@@ -54,6 +63,8 @@ func (s Solver) String() string {
 		return "anneal"
 	case SolverPortfolio:
 		return "portfolio"
+	case SolverHierarchical:
+		return "hierarchical"
 	}
 	return fmt.Sprintf("solver(%d)", int(s))
 }
@@ -68,6 +79,8 @@ type Options struct {
 	NLP nlp.Options
 	// Anneal tunes SolverAnneal (ignored otherwise).
 	Anneal nlp.AnnealOptions
+	// Hierarchical tunes SolverHierarchical (ignored otherwise).
+	Hierarchical HierarchicalOptions
 	// SkipRegularization leaves the solver's (possibly non-regular)
 	// layout as the final recommendation, for layout mechanisms that can
 	// implement arbitrary fractions.
@@ -445,6 +458,11 @@ func (a *Advisor) safeSolve(r *run, init *layout.Layout, startIdx, round int) (r
 		}
 	case SolverPortfolio:
 		res, err = a.portfolioSolve(r, init, nopt)
+		if err != nil {
+			return res, err
+		}
+	case SolverHierarchical:
+		res, err = a.hierarchicalSolve(r, init, nopt)
 		if err != nil {
 			return res, err
 		}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dblayout/internal/autoadmin"
+	"dblayout/internal/layout"
+	"dblayout/internal/nlp"
+	"dblayout/internal/rome"
+)
+
+// HierarchicalOptions tunes SolverHierarchical.
+type HierarchicalOptions struct {
+	// MaxClusterObjects caps the intended subproblem size: the solver
+	// asks for ceil(N / MaxClusterObjects) co-access clusters. Zero
+	// selects 256 — large enough that the paper-scale problems (N<=160)
+	// collapse to a single cluster and fall back to the flat solver.
+	MaxClusterObjects int
+	// ReconcileIters bounds the global transfer-search pass that runs on
+	// the merged per-cluster layouts (restarts disabled, candidate
+	// pruning engaged by the problem size). Zero selects 256.
+	ReconcileIters int
+}
+
+func (o HierarchicalOptions) withDefaults() HierarchicalOptions {
+	if o.MaxClusterObjects <= 0 {
+		o.MaxClusterObjects = 256
+	}
+	if o.ReconcileIters <= 0 {
+		o.ReconcileIters = 256
+	}
+	return o
+}
+
+// subProblem is one cluster's slice of the global instance: objs and tgts
+// map local indices back to global object and target ids (both ascending).
+type subProblem struct {
+	objs []int
+	tgts []int
+	inst *layout.Instance
+}
+
+// hierarchicalSolve decomposes a fleet-scale problem along its co-access
+// structure and solves the pieces independently:
+//
+//  1. cluster objects with autoadmin.CoAccessClusters (edge weight =
+//     temporal overlap x the smaller of the two request rates), asking for
+//     ceil(N / MaxClusterObjects) clusters;
+//  2. partition the targets among the clusters in proportion to byte
+//     demand;
+//  3. build one sub-instance per cluster — cross-cluster overlaps are
+//     dropped, which is exactly the approximation the clustering minimizes
+//     — and solve each with TransferSearch from its own heuristic initial
+//     layout on a pool of Options.Workers goroutines;
+//  4. merge the per-cluster layouts and run a bounded global
+//     reconciliation pass (ReconcileIters, no restarts) that repairs
+//     cross-cluster imbalance with the pruned candidate scan.
+//
+// Every sub-solve runs with Workers=1 on a seed derived from
+// (Seed, StreamHierarchy, cluster), and the merge visits clusters in a
+// fixed order, so the result is bit-identical at any worker count. The
+// caller's initial layout only feeds the flat fallback, which handles
+// problems the decomposition does not: administrative constraints, a
+// single cluster, or a target split with insufficient capacity.
+func (a *Advisor) hierarchicalSolve(r *run, init *layout.Layout, nopt nlp.Options) (nlp.Result, error) {
+	start := time.Now()
+	h := a.opt.Hierarchical.withDefaults()
+	n, m := a.inst.N(), a.inst.M()
+	k := (n + h.MaxClusterObjects - 1) / h.MaxClusterObjects
+
+	flat := func() (nlp.Result, error) {
+		return nlp.TransferSearch(r.ctx, a.ev, a.inst, init, nopt), nil
+	}
+	if a.inst.Constraints != nil || k <= 1 || m < 2*k {
+		return flat()
+	}
+
+	clusters := a.coAccessClusters(k)
+	if len(clusters) <= 1 {
+		return flat()
+	}
+	subs, ok := a.buildSubProblems(clusters)
+	if !ok {
+		return flat()
+	}
+
+	results := make([]nlp.Result, len(subs))
+	errs := make([]error, len(subs))
+	if !a.solveSubProblems(r, subs, results, errs, nopt) {
+		return flat() // a sub-solve failed (e.g. infeasible initial layout)
+	}
+
+	merged := layout.New(n, m)
+	for c, sub := range subs {
+		sl := results[c].Layout
+		for li, gi := range sub.objs {
+			for _, lj := range sl.Targets(li) {
+				merged.Set(gi, sub.tgts[lj], sl.At(li, lj))
+			}
+		}
+	}
+
+	ropt := nopt
+	ropt.Restarts = nlp.NoRestarts
+	ropt.MaxIters = h.ReconcileIters
+	ropt.Seed = nlp.SubSeed(nopt.Seed, nlp.StreamHierarchy, -1)
+	res := nlp.TransferSearch(r.ctx, a.ev, a.inst, merged, ropt)
+
+	for c := range results {
+		res.Iters += results[c].Iters
+		res.Evals += results[c].Evals
+		res.Restarts += results[c].Restarts
+		if res.Stop == nil {
+			res.Stop = results[c].Stop
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// coAccessClusters groups the instance's objects by co-access affinity and
+// returns the non-empty clusters, each an ascending list of object ids, in
+// cluster-id order.
+func (a *Advisor) coAccessClusters(k int) [][]int {
+	set := a.inst.Workloads
+	n := set.Len()
+	weight := make([]float64, n)
+	for i, w := range set.Workloads {
+		weight[i] = w.TotalRate()
+	}
+	assign := autoadmin.CoAccessClusters(n, k, weight,
+		func(i int, f func(k int, w float64)) {
+			wi := weight[i]
+			set.ForEachOverlap(i, func(j int, v float64) {
+				wj := weight[j]
+				if wj < wi {
+					f(j, v*wj)
+				} else {
+					f(j, v*wi)
+				}
+			})
+		}, 0)
+	clusters := make([][]int, k)
+	for i, c := range assign {
+		clusters[c] = append(clusters[c], i)
+	}
+	out := clusters[:0]
+	for _, c := range clusters {
+		if len(c) > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// buildSubProblems partitions the targets among the clusters by byte demand
+// and materializes one sub-instance per cluster. It reports false when the
+// split is infeasible (some cluster's targets cannot hold its objects), in
+// which case the caller falls back to the flat solver.
+func (a *Advisor) buildSubProblems(clusters [][]int) ([]subProblem, bool) {
+	inst := a.inst
+	m := inst.M()
+
+	// Greedy proportional target split: each target, in ascending id
+	// order, goes to the cluster with the largest remaining capacity
+	// deficit (demand x 1.25 slack, ties toward the lower cluster id).
+	demand := make([]float64, len(clusters))
+	for c, objs := range clusters {
+		for _, i := range objs {
+			demand[c] += float64(inst.Objects[i].Size)
+		}
+	}
+	got := make([]float64, len(clusters))
+	tgts := make([][]int, len(clusters))
+	for j := 0; j < m; j++ {
+		best, bestDef := -1, 0.0
+		for c := range clusters {
+			def := demand[c]*1.25 - got[c]
+			if best < 0 || def > bestDef {
+				best, bestDef = c, def
+			}
+		}
+		tgts[best] = append(tgts[best], j)
+		got[best] += float64(inst.Targets[j].Capacity)
+	}
+	for c := range clusters {
+		if len(tgts[c]) == 0 || got[c] < demand[c] {
+			return nil, false
+		}
+	}
+
+	local := make([]int, inst.N())
+	for i := range local {
+		local[i] = -1
+	}
+	subs := make([]subProblem, len(clusters))
+	for c, objs := range clusters {
+		for li, gi := range objs {
+			local[gi] = li
+		}
+		ws := make([]*rome.Workload, len(objs))
+		sobjs := make([]layout.Object, len(objs))
+		for li, gi := range objs {
+			w := inst.Workloads.Workloads[gi].Clone()
+			// Remap overlaps to local ids; cross-cluster entries are
+			// dropped. ForEachOverlap visits partners in ascending
+			// global order and objs is ascending, so the sparse rows
+			// come out sorted.
+			var sp []rome.OverlapEntry
+			inst.Workloads.ForEachOverlap(gi, func(gk int, v float64) {
+				if lk := local[gk]; lk >= 0 {
+					sp = append(sp, rome.OverlapEntry{Index: lk, Value: v})
+				}
+			})
+			w.Overlap, w.SparseOverlap = nil, sp
+			ws[li] = w
+			sobjs[li] = inst.Objects[gi]
+		}
+		for _, gi := range objs {
+			local[gi] = -1 // reset the scratch for the next cluster
+		}
+		set, err := rome.NewSet(ws...)
+		if err != nil {
+			return nil, false
+		}
+		stgts := make([]*layout.Target, len(tgts[c]))
+		for lj, gj := range tgts[c] {
+			stgts[lj] = inst.Targets[gj]
+		}
+		subs[c] = subProblem{
+			objs: objs,
+			tgts: tgts[c],
+			inst: &layout.Instance{
+				Objects:    sobjs,
+				Targets:    stgts,
+				Workloads:  set,
+				StripeSize: inst.StripeSize,
+			},
+		}
+	}
+	return subs, true
+}
+
+// solveSubProblems runs one TransferSearch per cluster on a bounded worker
+// pool. Each sub-solve is single-threaded with its own derived seed, so the
+// pool width affects wall-clock time only. Panics on workers (cost-model
+// failures) are re-raised here for safeSolve's classification. Returns
+// false when any sub-solve could not run.
+func (a *Advisor) solveSubProblems(r *run, subs []subProblem, results []nlp.Result, errs []error, nopt nlp.Options) bool {
+	workers := nopt.Workers
+	if workers <= 0 || workers > len(subs) {
+		workers = len(subs)
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal interface{}
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = p
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= len(subs) {
+					return
+				}
+				sub := subs[c]
+				sinit, err := layout.InitialLayout(sub.inst)
+				if err != nil {
+					errs[c] = err
+					continue
+				}
+				sopt := nopt
+				sopt.Workers = 1
+				sopt.Trace = nil
+				sopt.Seed = nlp.SubSeed(nopt.Seed, nlp.StreamHierarchy, int64(c))
+				results[c] = nlp.TransferSearch(r.ctx, layout.NewEvaluator(sub.inst), sub.inst, sinit, sopt)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+	for c := range errs {
+		if errs[c] != nil || results[c].Layout == nil {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+
+	"dblayout/internal/layout"
+	"dblayout/internal/layouttest"
+	"dblayout/internal/nlp"
+)
+
+// hierFixture is a mid-size fleet instance that decomposes into ~10
+// clusters: big enough to exercise the whole cluster -> split -> solve ->
+// reconcile pipeline, small enough for the race detector.
+func hierFixture() (*layout.Instance, Options) {
+	inst := layouttest.Fleet(400, 20)
+	opt := Options{
+		Solver:             SolverHierarchical,
+		SkipRegularization: true,
+		Rounds:             1,
+		Hierarchical:       HierarchicalOptions{MaxClusterObjects: 48},
+		NLP:                nlp.Options{Seed: 3, Restarts: nlp.NoRestarts, MaxIters: 400},
+	}
+	return inst, opt
+}
+
+// TestHierarchicalDeterminismAcrossWorkers pins the decomposition's
+// workers-independence contract: every sub-solve is single-threaded on a
+// per-cluster derived seed and the merge order is fixed, so the pool width
+// must change wall-clock time only.
+func TestHierarchicalDeterminismAcrossWorkers(t *testing.T) {
+	inst, opt := hierFixture()
+	solve := func(workers int) *Recommendation {
+		o := opt
+		o.NLP.Workers = workers
+		adv, err := New(inst, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := adv.Recommend()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	r1, r8 := solve(1), solve(8)
+	if r1.FinalObjective != r8.FinalObjective {
+		t.Fatalf("objective differs across workers: %v vs %v", r1.FinalObjective, r8.FinalObjective)
+	}
+	if !sameLayout(r1.Final, r8.Final) {
+		t.Fatal("layout differs between workers 1 and 8")
+	}
+}
+
+// TestHierarchicalImprovesAndValidates checks the decomposed solve end to
+// end: the recommendation must be a valid layout that improves on the
+// heuristic initial layout and lands within striking distance of the flat
+// transfer solve on the same instance.
+func TestHierarchicalImprovesAndValidates(t *testing.T) {
+	inst, opt := hierFixture()
+	adv, err := New(inst, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := adv.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.ValidateLayout(rec.Final); err != nil {
+		t.Fatalf("hierarchical recommendation invalid: %v", err)
+	}
+	if rec.FinalObjective > rec.InitialObjective {
+		t.Fatalf("hierarchical solve regressed: initial %v -> final %v",
+			rec.InitialObjective, rec.FinalObjective)
+	}
+
+	flatOpt := opt
+	flatOpt.Solver = SolverTransfer
+	fadv, err := New(inst, flatOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frec, err := fadv.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.FinalObjective > 1.5*frec.FinalObjective {
+		t.Fatalf("hierarchical objective %v much worse than flat %v",
+			rec.FinalObjective, frec.FinalObjective)
+	}
+}
+
+// TestHierarchicalFallsBackAtPaperScale pins the acceptance criterion that
+// paper-scale solve quality is untouched: with the default cluster size the
+// paper's largest problem is a single cluster, so SolverHierarchical must
+// produce the exact layout SolverTransfer does.
+func TestHierarchicalFallsBackAtPaperScale(t *testing.T) {
+	inst := layouttest.Replicated(40, 40)
+	base := Options{
+		SkipRegularization: true,
+		Rounds:             1,
+		NLP:                nlp.Options{Seed: 9, Restarts: nlp.NoRestarts, MaxIters: 40},
+	}
+	recs := make(map[Solver]*Recommendation)
+	for _, s := range []Solver{SolverTransfer, SolverHierarchical} {
+		o := base
+		o.Solver = s
+		adv, err := New(inst, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := adv.Recommend()
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs[s] = rec
+	}
+	if a, b := recs[SolverTransfer].FinalObjective, recs[SolverHierarchical].FinalObjective; a != b {
+		t.Fatalf("paper-scale objective differs: transfer %v, hierarchical %v", a, b)
+	}
+	if !sameLayout(recs[SolverTransfer].Final, recs[SolverHierarchical].Final) {
+		t.Fatal("hierarchical fallback layout differs from the flat transfer solve")
+	}
+}
+
+// TestHierarchicalFallsBackOnConstraints: administrative constraints are
+// outside the decomposition's scope and must route to the flat solver.
+func TestHierarchicalFallsBackOnConstraints(t *testing.T) {
+	inst, opt := hierFixture()
+	inst.Constraints = &layout.Constraints{Deny: map[int][]int{0: {0}}}
+	defer func() { inst.Constraints = nil }()
+	adv, err := New(inst, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := adv.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.ValidateLayout(rec.Final); err != nil {
+		t.Fatalf("constrained fallback invalid: %v", err)
+	}
+	if rec.Final.At(0, 0) > layout.Epsilon {
+		t.Fatal("denied placement present in fallback recommendation")
+	}
+}
+
+// BenchmarkHierarchicalFleetScale is the decomposed counterpart of the nlp
+// package's BenchmarkSolveFleetScale: the full advisor pipeline (seeding,
+// per-cluster solves, pruned reconciliation) at N=10000 x M=1000. Run with
+// -benchtime=1x for a smoke reading.
+func BenchmarkHierarchicalFleetScale(b *testing.B) {
+	inst := layouttest.Fleet(10000, 1000)
+	adv, err := New(inst, Options{
+		Solver:             SolverHierarchical,
+		SkipRegularization: true,
+		Rounds:             1,
+		NLP:                nlp.Options{Seed: 1, Restarts: nlp.NoRestarts, MaxIters: 256},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := adv.Recommend()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rec.Final == nil {
+			b.Fatal("no layout")
+		}
+	}
+}

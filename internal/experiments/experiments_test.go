@@ -370,3 +370,32 @@ func TestQuickChaos(t *testing.T) {
 		t.Error("ChaosTable missing summary line")
 	}
 }
+
+func TestQuickFleet(t *testing.T) {
+	cfg := NewQuickConfig()
+	rows, err := Fleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d fleet rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.N != 800 || r.M != 64 {
+			t.Errorf("%s: quick mode ran %dx%d, want 800x64", r.Solver, r.N, r.M)
+		}
+		if r.Final <= 0 || r.Final > r.Initial {
+			t.Errorf("%s: solve did not improve: initial %.3f -> final %.3f",
+				r.Solver, r.Initial, r.Final)
+		}
+		if r.Iters == 0 || r.Evals == 0 {
+			t.Errorf("%s: no solver effort reported (%d iters, %d evals)", r.Solver, r.Iters, r.Evals)
+		}
+	}
+	tbl := FleetTable(rows)
+	for _, want := range []string{"transfer+prune", "hierarchical"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("FleetTable missing %q:\n%s", want, tbl)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dblayout/internal/core"
+	"dblayout/internal/layouttest"
+	"dblayout/internal/nlp"
+)
+
+// FleetRow is one solver's line of the fleet-scale study.
+type FleetRow struct {
+	Solver string
+	N, M   int
+	// Initial and Final are the predicted max target utilizations of the
+	// heuristic initial layout and the recommendation.
+	Initial, Final float64
+	// Elapsed is the advisor's solve time; Iters and Evals its effort.
+	Elapsed      time.Duration
+	Iters, Evals int
+}
+
+// Fleet runs the fleet-scale study, an extension beyond the paper's largest
+// problems (N=160 x M=40): the pruned flat transfer search and the
+// hierarchical cluster decomposition solve the same block-sparse
+// layouttest.Fleet instance — N=10000 objects on M=1000 targets at full
+// scale, N=800 x M=64 in Quick mode. Regularization is skipped (its
+// object-load ordering is quadratic in N) and candidate pruning is forced
+// on the flat solve so the quick gate exercises the same code paths the
+// full run does.
+func Fleet(cfg *Config) ([]FleetRow, error) {
+	n, m := 10000, 1000
+	if cfg.Quick {
+		n, m = 800, 64
+	}
+	inst := layouttest.Fleet(n, m)
+
+	cases := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"transfer+prune", core.Options{
+			Solver: core.SolverTransfer,
+			NLP:    nlp.Options{PruneObjects: 64, PruneTargets: 16},
+		}},
+		{"hierarchical", core.Options{
+			Solver: core.SolverHierarchical,
+		}},
+	}
+	var out []FleetRow
+	for _, c := range cases {
+		opt := c.opt
+		opt.SkipRegularization = true
+		opt.Rounds = 1
+		opt.Logger = cfg.Logger
+		opt.NLP.Seed = cfg.Seed
+		opt.NLP.Workers = cfg.Workers
+		opt.NLP.Trace = cfg.Trace
+		opt.NLP.Restarts = nlp.NoRestarts
+		opt.NLP.MaxIters = 256
+		adv, err := core.New(inst, opt)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fleet %s: %w", c.name, err)
+		}
+		start := time.Now()
+		rec, err := adv.Recommend()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fleet %s: %w", c.name, err)
+		}
+		out = append(out, FleetRow{
+			Solver:  c.name,
+			N:       n,
+			M:       m,
+			Initial: rec.InitialObjective,
+			Final:   rec.FinalObjective,
+			Elapsed: time.Since(start),
+			Iters:   rec.SolverIters,
+			Evals:   rec.SolverEvals,
+		})
+	}
+	return out, nil
+}
+
+// FleetTable renders the fleet-scale study rows.
+func FleetTable(rows []FleetRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %6s %6s %10s %10s %10s %9s %12s\n",
+		"Solver", "N", "M", "Initial", "Final", "Elapsed", "Iters", "Evals")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-16s %6d %6d %10.3f %10.3f %10s %9d %12d\n",
+			r.Solver, r.N, r.M, r.Initial, r.Final,
+			r.Elapsed.Round(time.Millisecond), r.Iters, r.Evals)
+	}
+	return sb.String()
+}

@@ -4,20 +4,21 @@ import "fmt"
 
 // IncrementalEvaluator is a delta-evaluation kernel for the utilization model
 // of Eq. 1/Eq. 2, bound to one live Layout. Where the naive Evaluator prices a
-// candidate move with two full target evaluations — each O(N) in per-object
-// rates plus an O(N) contention scan per active object — the kernel caches,
-// per target j:
+// candidate move with two full target evaluations, the kernel caches, per
+// target j and per *active* object (non-zero assignment) on it:
 //
-//   - the request-rate vector lambda_kj = totalRate_k * L[k][j],
-//   - the contention sums S_ij = sum_{k != i} lambda_kj * Overlap(i, k),
-//   - the list of active objects (non-zero assignment), kept in ascending
-//     object order so summation order is reproducible,
+//   - the request-rate entry lambda_ij = totalRate_i * L[i][j],
+//   - the contention sum S_ij = sum_{k != i} lambda_kj * Overlap(i, k),
 //   - the current utilization mu_j,
 //
-// and scores a candidate move against the cached state in O(active objects on
-// the two affected targets), with zero allocations. The transfer formulation's
-// promise that "a move only requires re-evaluating the two affected targets"
-// thus drops from O(N^2) to O(active) per move.
+// held in three parallel slices ordered by ascending object id, so summation
+// order is reproducible and lookup is a binary search. State is sized by
+// active entries, not by N: construction walks the layout once and allocates
+// O(total active entries), so an almost-empty fleet-scale target costs
+// almost nothing (the dense predecessor allocated four O(N) rows per target
+// and scanned every target twice regardless of occupancy). Scoring a
+// candidate move is a merge-walk of the target's active list with the moved
+// object's sparse overlap row — O(active + degree) with zero allocations.
 //
 // The kernel agrees with the naive Evaluator to within 1e-9 on every target
 // utilization (see DESIGN.md, "Evaluation-kernel tolerance contract"): exact
@@ -35,21 +36,21 @@ type IncrementalEvaluator struct {
 	n  int
 	m  int
 
-	// ov is the dense row-major overlap matrix: ov[i*n+k] = Overlap(i, k),
-	// shared with the parent evaluator (read-only).
-	ov []float64
+	// ov is the sparse overlap matrix, shared read-only with the parent
+	// evaluator.
+	ov *overlapCSR
 
-	lam [][]float64 // lam[j][i] = totalRate[i] * L[i][j]; 0 when inactive
-	con [][]float64 // con[j][i] = S_ij; stale while i is inactive on j
-	act [][]int     // act[j]: objects with L[i][j] != 0, ascending
-	pos [][]int     // pos[j][i]: index of i in act[j], or -1
+	act [][]int32   // act[j]: objects with L[i][j] != 0, ascending
+	lam [][]float64 // lam[j][t] = totalRate[act[j][t]] * L[act[j][t]][j]
+	con [][]float64 // con[j][t] = S_ij for i = act[j][t]
 	mu  []float64   // mu[j]: cached utilization of target j
 }
 
-// NewIncremental binds a delta-evaluation kernel to l, building the cached
-// per-target state in one full O(M*N + M*A^2) pass (A = active objects per
-// target). The layout's dimensions must match the evaluator's instance; the
-// kernel owns l's mutations from here on.
+// NewIncremental binds a delta-evaluation kernel to l. Construction is one
+// row-major pass over the layout plus one contention merge-walk per active
+// entry — O(N*M) time to read the layout but memory proportional to the
+// active entries only. The layout's dimensions must match the evaluator's
+// instance; the kernel owns l's mutations from here on.
 func (ev *Evaluator) NewIncremental(l *Layout) *IncrementalEvaluator {
 	n, m := ev.inst.N(), ev.inst.M()
 	if l.N != n || l.M != m {
@@ -60,19 +61,28 @@ func (ev *Evaluator) NewIncremental(l *Layout) *IncrementalEvaluator {
 		l:   l,
 		n:   n,
 		m:   m,
-		ov:  ev.overlapMatrix(),
+		ov:  ev.ov,
+		act: make([][]int32, m),
 		lam: make([][]float64, m),
 		con: make([][]float64, m),
-		act: make([][]int, m),
-		pos: make([][]int, m),
 		mu:  make([]float64, m),
 	}
+	// One pass in row-major (layout storage) order: each target's active
+	// list comes out ascending for free.
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if f := l.At(i, j); f != 0 {
+				q.act[j] = append(q.act[j], int32(i))
+				q.lam[j] = append(q.lam[j], ev.totalRate[i]*f)
+			}
+		}
+	}
 	for j := 0; j < m; j++ {
-		q.lam[j] = make([]float64, n)
-		q.con[j] = make([]float64, n)
-		q.pos[j] = make([]int, n)
-		q.act[j] = make([]int, 0, n)
-		q.rebuildTarget(j)
+		q.con[j] = make([]float64, len(q.act[j]))
+		for t, i := range q.act[j] {
+			q.con[j][t] = q.freshCon(j, int(i))
+		}
+		q.mu[j] = q.scoreWith(j, -1, 0)
 	}
 	return q
 }
@@ -81,34 +91,45 @@ func (ev *Evaluator) NewIncremental(l *Layout) *IncrementalEvaluator {
 // freely but must route mutations through the kernel.
 func (q *IncrementalEvaluator) Layout() *Layout { return q.l }
 
-// rebuildTarget recomputes target j's cached state from the layout alone.
-func (q *IncrementalEvaluator) rebuildTarget(j int) {
-	ev := q.ev
-	q.act[j] = q.act[j][:0]
-	for i := 0; i < q.n; i++ {
-		q.pos[j][i] = -1
-		q.lam[j][i] = 0
-	}
-	for i := 0; i < q.n; i++ {
-		if q.l.At(i, j) != 0 {
-			q.pos[j][i] = len(q.act[j])
-			q.act[j] = append(q.act[j], i)
-			q.lam[j][i] = ev.totalRate[i] * q.l.At(i, j)
+// findActive locates obj in target j's active list: a result >= 0 is its
+// position, a negative result r encodes the insertion point as -(r+1).
+func (q *IncrementalEvaluator) findActive(j, obj int) int {
+	a := q.act[j]
+	o := int32(obj)
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < o {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	for _, i := range q.act[j] {
-		q.con[j][i] = q.freshCon(j, i)
+	if lo < len(a) && a[lo] == o {
+		return lo
 	}
-	q.mu[j] = q.scoreWith(j, -1, 0)
+	return -(lo + 1)
 }
 
-// freshCon computes S_ij from scratch over target j's active list.
+// freshCon computes S_ij from scratch: a merge-walk of target j's active
+// list with object i's sparse overlap row. Only co-access partners of i can
+// contribute; the walk visits them in ascending order, exactly the non-zero
+// terms the dense active-list scan accumulated.
 func (q *IncrementalEvaluator) freshCon(j, i int) float64 {
 	var s float64
-	row := q.ov[i*q.n:]
-	for _, k := range q.act[j] {
-		if k != i {
-			s += q.lam[j][k] * row[k]
+	idx, val, _ := q.ov.row(i)
+	act, lam := q.act[j], q.lam[j]
+	e, t := 0, 0
+	for e < len(idx) && t < len(act) {
+		switch {
+		case idx[e] < act[t]:
+			e++
+		case idx[e] > act[t]:
+			t++
+		default:
+			s += lam[t] * val[e]
+			e++
+			t++
 		}
 	}
 	return s
@@ -136,15 +157,36 @@ func (q *IncrementalEvaluator) objTerm(j, i int, lij, chi float64) float64 {
 // the kernel's single scoring primitive: TryMove, Apply, ScoreObjectFrac and
 // SetObjectRow all price targets through it, so a probed score and the cached
 // utilization after the corresponding mutation are bit-identical.
+//
+// The active-list walk carries a merge pointer into obj's sparse overlap row
+// (tval, the Overlap(i, obj) direction): only obj's co-access partners see
+// their contention sums shift by dLam, every other active object reuses its
+// cached sum untouched.
 func (q *IncrementalEvaluator) scoreWith(j, obj int, frac float64) float64 {
 	ev := q.ev
 	var lamObj, dLam float64
+	objPos := -1
+	var oIdx []int32
+	var oTval []float64
 	if obj >= 0 {
 		lamObj = ev.totalRate[obj] * frac
-		dLam = lamObj - q.lam[j][obj]
+		p := q.findActive(j, obj)
+		var lamOld float64
+		if p >= 0 {
+			lamOld = q.lam[j][p]
+			objPos = p
+		}
+		dLam = lamObj - lamOld
+		oIdx, _, oTval = q.ov.row(obj)
 	}
 	var mu float64
-	for _, i := range q.act[j] {
+	e := 0
+	act := q.act[j]
+	for t, i32 := range act {
+		for e < len(oIdx) && oIdx[e] < i32 {
+			e++
+		}
+		i := int(i32)
 		if i == obj {
 			continue
 		}
@@ -152,16 +194,19 @@ func (q *IncrementalEvaluator) scoreWith(j, obj int, frac float64) float64 {
 		if lij <= Epsilon || ev.totalRate[i] <= 0 {
 			continue
 		}
-		s := q.con[j][i]
-		if dLam != 0 {
-			s += dLam * q.ov[i*q.n+obj]
+		s := q.con[j][t]
+		if dLam != 0 && e < len(oIdx) && oIdx[e] == i32 {
+			s += dLam * oTval[e]
 		}
-		chi := s/q.lam[j][i] + ev.selfChi[i]
+		chi := s/q.lam[j][t] + ev.selfChi[i]
 		mu += q.objTerm(j, i, lij, chi)
 	}
 	if obj >= 0 && frac > Epsilon && ev.totalRate[obj] > 0 {
-		s := q.con[j][obj]
-		if q.pos[j][obj] < 0 {
+		var s float64
+		if objPos >= 0 {
+			s = q.con[j][objPos]
+		} else {
+			// S_obj is not cached while obj is inactive on j.
 			s = q.freshCon(j, obj)
 		}
 		chi := s/lamObj + ev.selfChi[obj]
@@ -182,13 +227,28 @@ func (q *IncrementalEvaluator) EffectiveDelta(obj, from int, delta float64) floa
 	return delta
 }
 
+// checkMove rejects the degenerate moves that would corrupt the cached
+// contention sums if they slipped through: a from == to transfer would
+// double-apply the dLam shift to one target, and a negative delta inverts
+// the dust clamp (have - delta < Epsilon promotes to a whole-assignment
+// move in the wrong direction). Both are caller bugs, so they panic.
+func checkMove(from, to int, delta float64) {
+	if from == to {
+		panic("layout: incremental move with from == to")
+	}
+	if delta < 0 {
+		panic(fmt.Sprintf("layout: incremental move with negative delta %g", delta))
+	}
+}
+
 // TryMove scores the transfer of delta of obj from one target to another
 // without performing it, returning the two affected targets' would-be
 // utilizations. All other targets are unaffected by a transfer move (the
 // paper's argument for the formulation), so the caller combines these with
 // the cached Utilization values. delta is normalized via EffectiveDelta.
-// from and to must differ.
+// from and to must differ and delta must be non-negative.
 func (q *IncrementalEvaluator) TryMove(obj, from, to int, delta float64) (muFrom, muTo float64) {
+	checkMove(from, to, delta)
 	delta = q.EffectiveDelta(obj, from, delta)
 	muFrom = q.scoreWith(from, obj, q.l.At(obj, from)-delta)
 	muTo = q.scoreWith(to, obj, q.l.At(obj, to)+delta)
@@ -196,14 +256,12 @@ func (q *IncrementalEvaluator) TryMove(obj, from, to int, delta float64) (muFrom
 }
 
 // Apply performs the transfer and updates the cached state of the two
-// affected targets in O(active objects). It returns the effective moved
-// fraction after dust-clamp folding (see EffectiveDelta), which is what byte
-// accounting must use. The cached utilizations after Apply are bit-identical
-// to the values TryMove returned for the same move.
+// affected targets in O(active objects + overlap degree). It returns the
+// effective moved fraction after dust-clamp folding (see EffectiveDelta),
+// which is what byte accounting must use. The cached utilizations after
+// Apply are bit-identical to the values TryMove returned for the same move.
 func (q *IncrementalEvaluator) Apply(obj, from, to int, delta float64) float64 {
-	if from == to {
-		panic("layout: incremental move with from == to")
-	}
+	checkMove(from, to, delta)
 	delta = q.EffectiveDelta(obj, from, delta)
 	newFrom := q.l.At(obj, from) - delta
 	if delta == q.l.At(obj, from) {
@@ -218,61 +276,88 @@ func (q *IncrementalEvaluator) Apply(obj, from, to int, delta float64) float64 {
 }
 
 // setFrac updates L[obj][j] and target j's cached state: the lambda entry is
-// recomputed exactly, the active list membership is adjusted, and every other
-// active object's contention sum shifts by dLam * Overlap(i, obj).
+// recomputed exactly, the active list membership is adjusted, and every
+// active co-access partner's contention sum shifts by dLam * Overlap(i, obj)
+// (non-partners are untouched — their sums never contained an obj term).
 func (q *IncrementalEvaluator) setFrac(j, obj int, frac float64) {
 	lamNew := q.ev.totalRate[obj] * frac
-	dLam := lamNew - q.lam[j][obj]
-	if dLam != 0 {
-		for _, i := range q.act[j] {
-			if i != obj {
-				q.con[j][i] += dLam * q.ov[i*q.n+obj]
+	p := q.findActive(j, obj)
+	var lamOld float64
+	if p >= 0 {
+		lamOld = q.lam[j][p]
+	}
+	if dLam := lamNew - lamOld; dLam != 0 {
+		oIdx, _, oTval := q.ov.row(obj)
+		act := q.act[j]
+		e := 0
+		for t, i32 := range act {
+			for e < len(oIdx) && oIdx[e] < i32 {
+				e++
+			}
+			if e < len(oIdx) && oIdx[e] == i32 && int(i32) != obj {
+				q.con[j][t] += dLam * oTval[e]
 			}
 		}
 	}
-	wasActive := q.pos[j][obj] >= 0
 	switch {
-	case frac != 0 && !wasActive:
-		// S_obj was stale while obj was inactive; rebuild it before the
-		// object joins the active list.
-		q.con[j][obj] = q.freshCon(j, obj)
-		q.insertActive(j, obj)
-	case frac == 0 && wasActive:
-		q.removeActive(j, obj)
+	case frac != 0 && p < 0:
+		// S_obj was not cached while obj was inactive; build it before
+		// the object joins the active list.
+		q.insertActive(j, -(p + 1), obj, lamNew, q.freshCon(j, obj))
+	case frac == 0 && p >= 0:
+		q.removeActive(j, p)
+	case p >= 0:
+		q.lam[j][p] = lamNew
 	}
-	q.lam[j][obj] = lamNew
 	q.l.Set(obj, j, frac)
 }
 
-// insertActive adds obj to target j's active list, keeping ascending order so
-// that scoreWith's summation order depends only on the set of active objects,
-// never on the history of moves that produced it.
-func (q *IncrementalEvaluator) insertActive(j, obj int) {
+// insertActive splices obj into target j's active list at position t,
+// keeping ascending order so that scoreWith's summation order depends only
+// on the set of active objects, never on the history of moves that produced
+// it. Steady-state insertions reuse the capacity earlier removals left
+// behind, keeping the Apply hot loop allocation-free.
+func (q *IncrementalEvaluator) insertActive(j, t, obj int, lam, con float64) {
+	q.act[j] = append(q.act[j], 0)
+	copy(q.act[j][t+1:], q.act[j][t:])
+	q.act[j][t] = int32(obj)
+	q.lam[j] = append(q.lam[j], 0)
+	copy(q.lam[j][t+1:], q.lam[j][t:])
+	q.lam[j][t] = lam
+	q.con[j] = append(q.con[j], 0)
+	copy(q.con[j][t+1:], q.con[j][t:])
+	q.con[j][t] = con
+}
+
+// removeActive drops the entry at position t from target j's active list.
+// The slices are truncated, not reallocated, so their capacity survives for
+// the next insertion.
+func (q *IncrementalEvaluator) removeActive(j, t int) {
 	a := q.act[j]
-	k := len(a)
-	for k > 0 && a[k-1] > obj {
-		k--
-	}
-	a = append(a, 0)
-	copy(a[k+1:], a[k:])
-	a[k] = obj
-	q.act[j] = a
-	for ; k < len(a); k++ {
-		q.pos[j][a[k]] = k
+	copy(a[t:], a[t+1:])
+	q.act[j] = a[:len(a)-1]
+	lam := q.lam[j]
+	copy(lam[t:], lam[t+1:])
+	q.lam[j] = lam[:len(lam)-1]
+	con := q.con[j]
+	copy(con[t:], con[t+1:])
+	q.con[j] = con[:len(con)-1]
+}
+
+// ForEachActive calls f for every object with a non-zero assignment on
+// target j, in ascending object order, with its cached per-target request
+// rate lambda_ij. It is the candidate-enumeration primitive the pruned
+// transfer search uses to find the hottest objects on the most-utilized
+// target without an O(N) column scan.
+func (q *IncrementalEvaluator) ForEachActive(j int, f func(obj int, lam float64)) {
+	for t, i := range q.act[j] {
+		f(int(i), q.lam[j][t])
 	}
 }
 
-// removeActive drops obj from target j's active list.
-func (q *IncrementalEvaluator) removeActive(j, obj int) {
-	a := q.act[j]
-	k := q.pos[j][obj]
-	copy(a[k:], a[k+1:])
-	q.act[j] = a[:len(a)-1]
-	q.pos[j][obj] = -1
-	for ; k < len(q.act[j]); k++ {
-		q.pos[j][q.act[j][k]] = k
-	}
-}
+// ActiveCount returns the number of objects with a non-zero assignment on
+// target j.
+func (q *IncrementalEvaluator) ActiveCount(j int) int { return len(q.act[j]) }
 
 // ScoreObjectFrac returns mu_j as if L[obj][j] were frac, leaving the layout
 // and cached state untouched. It prices one cell of a row replacement — a

@@ -3,6 +3,7 @@ package layout
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"dblayout/internal/rome"
@@ -28,9 +29,19 @@ func utilClose(a, b float64) bool {
 }
 
 // randInstance builds a random valid instance: n objects with random rates,
-// sizes, run counts, concurrency and a random symmetric overlap matrix, on m
-// targets alternating between the disk-like and SSD-like test models.
+// sizes, run counts, concurrency and a random symmetric overlap matrix with
+// ~1/3 zero pairs, all in the dense representation, on m targets alternating
+// between the disk-like and SSD-like test models.
 func randInstance(tb testing.TB, rng *rand.Rand, n, m int) *Instance {
+	return randInstanceWith(tb, rng, n, m, 1.0/3, false)
+}
+
+// randInstanceWith generalizes randInstance: each overlap pair is zeroed
+// with probability drop (the sparsity level), and with mixRep set each
+// workload's vector is stored in a randomly chosen representation — dense
+// or rome.SparseOverlap carrying the exact same values — so differential
+// drives cover representation mixing at every sparsity level.
+func randInstanceWith(tb testing.TB, rng *rand.Rand, n, m int, drop float64, mixRep bool) *Instance {
 	ws := make([]*rome.Workload, n)
 	for i := range ws {
 		w := &rome.Workload{
@@ -55,11 +66,26 @@ func randInstance(tb testing.TB, rng *rand.Rand, n, m int) *Instance {
 	for i := 0; i < n; i++ {
 		for k := i + 1; k < n; k++ {
 			ov := rng.Float64()
-			if rng.Intn(3) == 0 {
+			if rng.Float64() < drop {
 				ov = 0
 			}
 			ws[i].Overlap[k] = ov
 			ws[k].Overlap[i] = ov
+		}
+	}
+	if mixRep {
+		for i, w := range ws {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			var sp []rome.OverlapEntry
+			for k, v := range w.Overlap {
+				if k != i && v != 0 {
+					sp = append(sp, rome.OverlapEntry{Index: k, Value: v})
+				}
+			}
+			w.Overlap = nil
+			w.SparseOverlap = sp
 		}
 	}
 	set, err := rome.NewSet(ws...)
@@ -161,10 +187,17 @@ func checkAgainstNaive(tb testing.TB, q *IncrementalEvaluator, ev *Evaluator, st
 // driveDifferential runs `moves` random transfers through the kernel,
 // checking every TryMove probe against a naive mutate-evaluate pass on a
 // clone and periodically checking the full cached state against a fresh
-// naive evaluation.
-func driveDifferential(tb testing.TB, seed int64, n, m, moves int) {
+// naive evaluation. drop sets the overlap sparsity (fraction of zero
+// pairs); pass -1 for the legacy dense 1/3-zero generator, any other value
+// also mixes dense and sparse overlap representations across workloads.
+func driveDifferential(tb testing.TB, seed int64, n, m, moves int, drop float64) {
 	rng := rand.New(rand.NewSource(seed))
-	inst := randInstance(tb, rng, n, m)
+	var inst *Instance
+	if drop < 0 {
+		inst = randInstance(tb, rng, n, m)
+	} else {
+		inst = randInstanceWith(tb, rng, n, m, drop, true)
+	}
 	ev := NewEvaluator(inst)
 	l := randLayout(rng, n, m)
 	q := ev.NewIncremental(l)
@@ -231,7 +264,19 @@ func TestIncrementalMatchesNaive(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed * 977))
 			n := 4 + rng.Intn(9)
 			m := 2 + rng.Intn(5)
-			driveDifferential(t, seed, n, m, 200)
+			driveDifferential(t, seed, n, m, 200, -1)
+		})
+	}
+}
+
+// TestIncrementalMatchesNaiveSparse runs the same differential property over
+// the sparse overlap representation at several sparsity levels, with dense
+// and sparse vectors mixed within one set.
+func TestIncrementalMatchesNaiveSparse(t *testing.T) {
+	for _, drop := range []float64{0, 0.5, 0.9, 1} {
+		drop := drop
+		t.Run(fmt.Sprintf("drop=%g", drop), func(t *testing.T) {
+			driveDifferential(t, int64(1000*drop)+13, 12, 5, 200, drop)
 		})
 	}
 }
@@ -346,6 +391,181 @@ func TestIncrementalMoveScoringAllocFree(t *testing.T) {
 	}
 }
 
+// TestIncrementalDegenerateMoves pins the guards and the no-op behaviour of
+// the degenerate move shapes: from == to and negative deltas are caller bugs
+// and panic on both TryMove and Apply; zero-delta moves are harmless —
+// probes and applies leave the layout bit-identical, never activate the
+// destination, and keep the cached contention state consistent with naive
+// evaluation.
+func TestIncrementalDegenerateMoves(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	inst := randInstance(t, rng, 8, 4)
+	ev := NewEvaluator(inst)
+	l := randLayout(rng, 8, 4)
+	q := ev.NewIncremental(l)
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	// Force a known row so the destination below is guaranteed inactive.
+	obj, from, to := 0, 0, 1
+	row := make([]float64, l.M)
+	row[from] = 1
+	q.SetObjectRow(obj, row)
+	mustPanic("TryMove from==to", func() { q.TryMove(obj, from, from, 0.5) })
+	mustPanic("Apply from==to", func() { q.Apply(obj, from, from, 0.5) })
+	mustPanic("TryMove negative delta", func() { q.TryMove(obj, from, to, -0.25) })
+	mustPanic("Apply negative delta", func() { q.Apply(obj, from, to, -0.25) })
+
+	// Zero-delta moves onto an inactive destination: a corrupt path would
+	// show up as a spurious activation.
+	beforeRow := append([]float64(nil), l.Row(obj)...)
+	beforeActive := q.ActiveCount(to)
+	muF, muT := q.TryMove(obj, from, to, 0)
+	if eff := q.Apply(obj, from, to, 0); eff != 0 {
+		t.Fatalf("zero-delta Apply moved %g", eff)
+	}
+	if q.Utilization(from) != muF || q.Utilization(to) != muT {
+		t.Fatalf("zero-delta Apply utilizations (%.17g, %.17g) differ from TryMove probes (%.17g, %.17g)",
+			q.Utilization(from), q.Utilization(to), muF, muT)
+	}
+	for j, v := range beforeRow {
+		if l.At(obj, j) != v {
+			t.Fatalf("zero-delta move changed L[%d][%d]: %g -> %g", obj, j, v, l.At(obj, j))
+		}
+	}
+	if got := q.ActiveCount(to); got != beforeActive {
+		t.Fatalf("zero-delta move activated the destination: %d -> %d active objects", beforeActive, got)
+	}
+	checkAgainstNaive(t, q, ev, 0)
+
+	// A longer mix of zero-delta and real moves must not corrupt the cached
+	// contention sums.
+	for step := 0; step < 100; step++ {
+		o, f, tt, delta, ok := randMove(rng, l)
+		if !ok {
+			continue
+		}
+		if step%3 == 0 {
+			delta = 0
+		}
+		q.Apply(o, f, tt, delta)
+	}
+	checkAgainstNaive(t, q, ev, 100)
+	if err := l.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// blockSparseInstance builds an n-object instance whose overlap structure is
+// block-diagonal with blocks of `span` co-accessed objects, stored in the
+// sparse representation — the fleet shape: many databases, each internally
+// correlated, mutually independent.
+func blockSparseInstance(tb testing.TB, n, m, span int) *Instance {
+	rng := rand.New(rand.NewSource(31))
+	ws := make([]*rome.Workload, n)
+	for i := range ws {
+		ws[i] = &rome.Workload{
+			Name:     fmt.Sprintf("O%d", i),
+			ReadSize: 65536,
+			ReadRate: 10 + rng.Float64()*200,
+			RunCount: 1 + rng.Float64()*63,
+		}
+	}
+	for b := 0; b < n; b += span {
+		end := b + span
+		if end > n {
+			end = n
+		}
+		for i := b; i < end; i++ {
+			for k := b; k < end; k++ {
+				if k == i {
+					continue
+				}
+				lo, hi := i, k
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				// Deterministic symmetric value per unordered pair.
+				v := 0.2 + 0.7*float64((lo*31+hi*17)%100)/100
+				ws[i].SparseOverlap = append(ws[i].SparseOverlap,
+					rome.OverlapEntry{Index: k, Value: v})
+			}
+		}
+	}
+	set, err := rome.NewSet(ws...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	disk, ssd := testModel(), ssdTestModel()
+	targets := make([]*Target, m)
+	for j := range targets {
+		model := CostModel(disk)
+		if j%2 == 1 {
+			model = ssd
+		}
+		targets[j] = &Target{Name: fmt.Sprintf("t%d", j), Capacity: 1 << 42, Model: model}
+	}
+	objects := make([]Object, n)
+	for i := range objects {
+		objects[i] = Object{Name: ws[i].Name, Size: 1 << 28}
+	}
+	inst := &Instance{Objects: objects, Targets: targets, Workloads: set}
+	if err := inst.Validate(); err != nil {
+		tb.Fatal(err)
+	}
+	return inst
+}
+
+// TestIncrementalFleetScaleConstruction is the regression test for the
+// dense-construction bug: NewIncremental used to allocate four O(N) rows per
+// target (O(M*N) memory however sparse the layout), and NewEvaluator a dense
+// O(N^2) overlap matrix. At N=4096 x M=256 those were ~40 MB and ~130 MB;
+// the sparse representations must stay proportional to non-zero co-access
+// pairs and active layout entries — a couple of MB here — while still
+// agreeing with naive evaluation.
+func TestIncrementalFleetScaleConstruction(t *testing.T) {
+	const n, m, span = 4096, 256, 8
+	inst := blockSparseInstance(t, n, m, span)
+
+	allocBytes := func(fn func()) uint64 {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		fn()
+		runtime.ReadMemStats(&after)
+		return after.TotalAlloc - before.TotalAlloc
+	}
+
+	var ev *Evaluator
+	if got := allocBytes(func() { ev = NewEvaluator(inst) }); got > 8<<20 {
+		t.Fatalf("NewEvaluator allocated %d bytes at N=%d; the dense matrix is back", got, n)
+	}
+
+	l := New(n, m)
+	for i := 0; i < n; i++ {
+		l.Set(i, i%m, 1)
+	}
+	var q *IncrementalEvaluator
+	if got := allocBytes(func() { q = ev.NewIncremental(l) }); got > 8<<20 {
+		t.Fatalf("NewIncremental allocated %d bytes for %d active entries; per-target state is dense again", got, n)
+	}
+	checkAgainstNaive(t, q, ev, 0)
+
+	// Steady-state moves at fleet scale stay allocation-free.
+	if allocs := testing.AllocsPerRun(100, func() {
+		q.TryMove(0, 0, 1, l.At(0, 0)*0.5)
+	}); allocs != 0 {
+		t.Fatalf("fleet-scale TryMove allocates %g objects per call, want 0", allocs)
+	}
+}
+
 // TestIncrementalDimensionMismatch checks the constructor's guard.
 func TestIncrementalDimensionMismatch(t *testing.T) {
 	inst := testInstance(t, 2)
@@ -359,17 +579,25 @@ func TestIncrementalDimensionMismatch(t *testing.T) {
 }
 
 // FuzzIncrementalKernel fuzzes the differential property: whatever the
-// instance shape, layout, and move sequence, the kernel must agree with the
-// naive evaluator within the tolerance contract and preserve layout
-// integrity.
+// instance shape, overlap sparsity level, representation mix (dense vectors
+// vs rome.SparseOverlap), layout, and move sequence, the kernel must agree
+// with the naive evaluator within the tolerance contract and preserve
+// layout integrity. sparsity = 255 selects the legacy dense-only generator;
+// anything else maps to a zero-pair probability in [0, 1] with mixed
+// representations.
 func FuzzIncrementalKernel(f *testing.F) {
-	f.Add(int64(1), uint8(6), uint8(3), uint16(60))
-	f.Add(int64(2), uint8(2), uint8(2), uint16(10))
-	f.Add(int64(99), uint8(16), uint8(8), uint16(200))
-	f.Fuzz(func(t *testing.T, seed int64, n, m uint8, moves uint16) {
+	f.Add(int64(1), uint8(6), uint8(3), uint16(60), uint8(255))
+	f.Add(int64(2), uint8(2), uint8(2), uint16(10), uint8(0))
+	f.Add(int64(99), uint8(16), uint8(8), uint16(200), uint8(128))
+	f.Add(int64(7), uint8(10), uint8(4), uint16(120), uint8(230))
+	f.Fuzz(func(t *testing.T, seed int64, n, m uint8, moves uint16, sparsity uint8) {
 		nn := 2 + int(n%15)
 		mm := 2 + int(m%7)
 		steps := int(moves % 256)
-		driveDifferential(t, seed, nn, mm, steps)
+		drop := -1.0
+		if sparsity != 255 {
+			drop = float64(sparsity) / 254
+		}
+		driveDifferential(t, seed, nn, mm, steps, drop)
 	})
 }

@@ -27,9 +27,10 @@ type Evaluator struct {
 	totalRate           []float64
 	selfChi             []float64
 
-	// ov is the dense row-major overlap matrix (ov[i*n+k] = Overlap(i, k)),
-	// built once and shared read-only with every IncrementalEvaluator.
-	ov []float64
+	// ov is the sparse overlap matrix (CSR rows of non-zero co-access
+	// pairs), built once and shared read-only with every
+	// IncrementalEvaluator. See overlapCSR.
+	ov *overlapCSR
 }
 
 // NewEvaluator prepares an evaluator for the instance. The instance must
@@ -64,17 +65,9 @@ func NewEvaluator(inst *Instance) *Evaluator {
 			ev.selfChi[i] = c - 1
 		}
 	}
-	ev.ov = make([]float64, n*n)
-	for i := 0; i < n; i++ {
-		for k := 0; k < n; k++ {
-			ev.ov[i*n+k] = inst.Workloads.Overlap(i, k)
-		}
-	}
+	ev.ov = buildOverlapCSR(inst.Workloads)
 	return ev
 }
-
-// overlapMatrix exposes the dense overlap matrix to the incremental kernel.
-func (ev *Evaluator) overlapMatrix() []float64 { return ev.ov }
 
 // Instance returns the instance the evaluator was built for.
 func (ev *Evaluator) Instance() *Instance { return ev.inst }
@@ -115,17 +108,23 @@ func (ev *Evaluator) runCountOn(i int, lij float64) float64 {
 // target j: the rate of temporally-correlated requests from other workloads
 // on the same target, per request of object i's own per-target workload.
 // rates[k] must hold lambda_kj = (read+write rate of k) * L[k][j].
+//
+// Only object i's co-access partners can contribute (every other k has
+// Overlap(i, k) = 0), so the scan walks i's CSR row instead of all N rates.
+// The row is ascending and carries exactly the non-zero entries the dense
+// scan would have admitted past its o > 0 guard, so the summation visits
+// the same terms in the same order and the result is bit-identical.
 func (ev *Evaluator) contention(i int, rates []float64, ownRate float64) float64 {
 	if ownRate <= 0 {
 		return 0
 	}
 	var sum float64
-	for k, rk := range rates {
-		if k == i || rk <= 0 {
-			continue
-		}
-		if o := ev.inst.Workloads.Overlap(i, k); o > 0 {
-			sum += rk * o
+	idx, val, _ := ev.ov.row(i)
+	for e, k := range idx {
+		if rk := rates[k]; rk > 0 {
+			if o := val[e]; o > 0 {
+				sum += rk * o
+			}
 		}
 	}
 	return sum/ownRate + ev.selfChi[i]

@@ -1,0 +1,88 @@
+package layout
+
+import (
+	"sort"
+
+	"dblayout/internal/rome"
+)
+
+// overlapCSR is the sparse overlap matrix shared by the Evaluator and every
+// IncrementalEvaluator: one CSR-style row per object holding its non-zero
+// co-access pairs. Row i's entry for partner k stores both directions of the
+// pair — val = Overlap(i, k) (what the contention factor of Eq. 2 reads when
+// pricing object i) and tval = Overlap(k, i) (what it reads when pricing the
+// partner) — because the set only guarantees symmetry to 1e-9, and the two
+// ULP-distinct readings must stay exactly what the dense path would have
+// read. The pattern is the symmetric union of both directions' non-zeros, so
+// walking row i visits every k the dense O(N) scan would have found a
+// non-zero for, in the same ascending order.
+//
+// At the paper's densities this costs about the same as the dense matrix; at
+// fleet scale (N=10k objects with ~10 partners each) it replaces an 800 MB
+// allocation with a few megabytes, and turns every contention scan from O(N)
+// into O(degree).
+type overlapCSR struct {
+	n     int
+	start []int32 // row i spans entries start[i]..start[i+1]
+	idx   []int32 // partner object ids, ascending within each row
+	val   []float64
+	tval  []float64
+}
+
+// buildOverlapCSR extracts the sparse overlap structure from a validated
+// workload set in O(nnz log nnz).
+func buildOverlapCSR(set *rome.Set) *overlapCSR {
+	n := set.Len()
+	neigh := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		set.ForEachOverlap(i, func(k int, v float64) {
+			neigh[i] = append(neigh[i], int32(k))
+			neigh[k] = append(neigh[k], int32(i))
+		})
+	}
+	c := &overlapCSR{n: n, start: make([]int32, n+1)}
+	var nnz int32
+	for i := 0; i < n; i++ {
+		row := neigh[i]
+		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+		// Dedupe in place: a pair appears twice when both directions are
+		// non-zero.
+		w := 0
+		for r, k := range row {
+			if r == 0 || k != row[r-1] {
+				row[w] = k
+				w++
+			}
+		}
+		neigh[i] = row[:w]
+		nnz += int32(w)
+		c.start[i+1] = nnz
+	}
+	c.idx = make([]int32, nnz)
+	c.val = make([]float64, nnz)
+	c.tval = make([]float64, nnz)
+	for i := 0; i < n; i++ {
+		e := c.start[i]
+		for _, k := range neigh[i] {
+			c.idx[e] = k
+			c.val[e] = set.Overlap(i, int(k))
+			c.tval[e] = set.Overlap(int(k), i)
+			e++
+		}
+	}
+	return c
+}
+
+// row returns object i's partners with both directed overlap readings.
+func (c *overlapCSR) row(i int) (idx []int32, val, tval []float64) {
+	a, b := c.start[i], c.start[i+1]
+	return c.idx[a:b], c.val[a:b], c.tval[a:b]
+}
+
+// degree returns the number of non-zero co-access partners of object i.
+func (c *overlapCSR) degree(i int) int {
+	return int(c.start[i+1] - c.start[i])
+}
+
+// nonzeros returns the total number of stored entries.
+func (c *overlapCSR) nonzeros() int { return len(c.idx) }

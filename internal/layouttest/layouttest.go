@@ -8,6 +8,7 @@ package layouttest
 
 import (
 	"fmt"
+	"math/rand"
 
 	"dblayout/internal/costmodel"
 	"dblayout/internal/layout"
@@ -101,6 +102,76 @@ func Instance(m int) *layout.Instance {
 		Targets:   Targets(m, 20<<30),
 		Workloads: set,
 	}
+	if err := inst.Validate(); err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// Fleet builds a deterministic fleet-scale instance: n objects in co-access
+// clusters of about ten (one "database" each — only intra-cluster overlaps
+// are non-zero, carried sparsely so the instance never materializes an n x n
+// matrix), with a skewed hot/warm/cold rate mix, on m alternating disk and
+// SSD targets whose capacities leave roughly 60% slack in aggregate. It is
+// the fixture behind BenchmarkSolveFleetScale (n=10000, m=1000) and the
+// fleet experiments; the same (n, m) always yields the same instance.
+func Fleet(n, m int) *layout.Instance {
+	const span = 10
+	rng := rand.New(rand.NewSource(7))
+	ws := make([]*rome.Workload, n)
+	objs := make([]layout.Object, n)
+	var total int64
+	for i := 0; i < n; i++ {
+		w := &rome.Workload{
+			Name:     fmt.Sprintf("O%d", i),
+			ReadSize: 131072, WriteSize: 8192,
+			RunCount: float64(1 + rng.Intn(64)),
+		}
+		switch rng.Intn(10) {
+		case 0: // hot
+			w.ReadRate = 100 + 400*rng.Float64()
+			w.WriteRate = 50 * rng.Float64()
+		case 1, 2, 3: // warm
+			w.ReadRate = 5 + 50*rng.Float64()
+		default: // cold
+			w.ReadRate = 2 * rng.Float64()
+		}
+		ws[i] = w
+		size := int64(64+rng.Intn(1984)) << 20
+		objs[i] = layout.Object{Name: w.Name, Size: size, Kind: layout.KindTable}
+		total += size
+	}
+	for lo := 0; lo < n; lo += span {
+		hi := lo + span
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			for k := i + 1; k < hi; k++ {
+				if rng.Intn(5) == 0 {
+					continue // not every pair in a database co-runs
+				}
+				v := 0.05 + 0.9*rng.Float64()
+				ws[i].SparseOverlap = append(ws[i].SparseOverlap, rome.OverlapEntry{Index: k, Value: v})
+				ws[k].SparseOverlap = append(ws[k].SparseOverlap, rome.OverlapEntry{Index: i, Value: v})
+			}
+		}
+	}
+	set, err := rome.NewSet(ws...)
+	if err != nil {
+		panic(err)
+	}
+	disk, ssd := DiskModel(), SSDModel()
+	capacity := (total*8/5)/int64(m) + 1
+	targets := make([]*layout.Target, m)
+	for j := range targets {
+		model, kind := disk, "disk"
+		if j%2 == 1 {
+			model, kind = ssd, "ssd"
+		}
+		targets[j] = &layout.Target{Name: fmt.Sprintf("%s%d", kind, j), Capacity: capacity, Model: model}
+	}
+	inst := &layout.Instance{Objects: objs, Targets: targets, Workloads: set}
 	if err := inst.Validate(); err != nil {
 		panic(err)
 	}

@@ -108,6 +108,58 @@ type Options struct {
 	// incremental placement (e.g. FlexVol-style growth), where existing
 	// data must stay put.
 	MovableObjects []int
+	// PruneObjects and PruneTargets bound TransferSearch's candidate scan
+	// for fleet-scale problems. A full scan prices every (object on the
+	// most-utilized target) x (other target) x (step fraction) triple; a
+	// pruned scan tries only the PruneObjects hottest objects on the
+	// source — ranked by the kernel's cached per-target request rate, ties
+	// toward the lower object id — against the PruneTargets least-utilized
+	// destinations (ties toward the lower target id). Whenever the pruned
+	// scan finds no improving move, one full scan runs before the search
+	// may declare convergence, so a pruned descent terminates only in
+	// states where the unpruned descent would also stop (the
+	// pruning-soundness fallback; see DESIGN.md, "Candidate-move
+	// pruning").
+	//
+	// Zero selects automatic behaviour: pruning engages with defaults (64
+	// objects x 16 targets) only when N*M reaches pruneAutoPairs and the
+	// evaluator vends an incremental kernel, so paper-scale solves keep
+	// their exact dense scans. Any negative value disables pruning
+	// outright. Setting either field positive forces pruning at any
+	// problem size (the unset field takes its default). Only
+	// TransferSearch prunes; the anneal and projected-gradient solvers
+	// ignore these fields.
+	PruneObjects int
+	PruneTargets int
+}
+
+// Automatic pruning engages at this many object-target pairs (the paper's
+// largest study, N=160 x M=40 = 6400 pairs, stays three orders of magnitude
+// below it), with these default scan bounds.
+const (
+	pruneAutoPairs      = 1 << 18
+	defaultPruneObjects = 64
+	defaultPruneTargets = 16
+)
+
+// pruneBounds resolves the configured pruning policy for an n x m problem.
+// A (0, 0) result means "scan everything". Pruning requires the incremental
+// kernel: the hottest-object ranking reads its cached per-target rates.
+func (o Options) pruneBounds(n, m int, haveKernel bool) (po, pt int) {
+	if !haveKernel || o.PruneObjects < 0 || o.PruneTargets < 0 {
+		return 0, 0
+	}
+	po, pt = o.PruneObjects, o.PruneTargets
+	if po == 0 && pt == 0 && n*m < pruneAutoPairs {
+		return 0, 0
+	}
+	if po == 0 {
+		po = defaultPruneObjects
+	}
+	if pt == 0 {
+		pt = defaultPruneTargets
+	}
+	return po, pt
 }
 
 // movableSet converts MovableObjects into a membership predicate.

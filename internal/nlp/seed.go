@@ -10,12 +10,13 @@ import "dblayout/internal/seed"
 // Stream identities for SubSeed's first path element; see the registry in
 // internal/seed for the full list and the rules for adding new streams.
 const (
-	StreamTransfer = seed.StreamTransfer
-	StreamAnneal   = seed.StreamAnneal
-	StreamProjGrad = seed.StreamProjGrad
-	StreamAdvisor  = seed.StreamAdvisor
-	StreamReplay   = seed.StreamReplay
-	StreamRepair   = seed.StreamRepair
+	StreamTransfer  = seed.StreamTransfer
+	StreamAnneal    = seed.StreamAnneal
+	StreamProjGrad  = seed.StreamProjGrad
+	StreamAdvisor   = seed.StreamAdvisor
+	StreamReplay    = seed.StreamReplay
+	StreamRepair    = seed.StreamRepair
+	StreamHierarchy = seed.StreamHierarchy
 )
 
 // SubSeed derives the seed of an independent pseudo-random stream from a

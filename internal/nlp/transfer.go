@@ -3,6 +3,7 @@ package nlp
 import (
 	"context"
 	"math/rand"
+	"sort"
 	"time"
 
 	"dblayout/internal/layout"
@@ -87,6 +88,18 @@ type transferState struct {
 	sizes []int64
 	caps  []int64
 	evals int
+
+	// Scratch slices for the pruned candidate scan, reused across
+	// bestMove calls to keep the steady-state search allocation-free.
+	hot  []hotObject
+	cand []int
+}
+
+// hotObject ranks an object active on the scan's source target by the
+// kernel's cached request rate there.
+type hotObject struct {
+	obj int
+	lam float64
 }
 
 func newTransferState(ev Evaluator, inst *layout.Instance, l *layout.Layout) *transferState {
@@ -266,31 +279,79 @@ func (s *transferState) descend(res *Result, opt Options, tk *tracker, lim *limi
 	res.Evals = s.evals
 }
 
+// moveScan accumulates the lexicographically best improving move found by a
+// candidate scan (full or pruned) against a fixed baseline (max, sum)
+// objective.
+type moveScan struct {
+	s                *transferState
+	bestMax, bestSum float64
+	best             move
+	found            bool
+}
+
+// consider prices one candidate move and keeps it if it improves the
+// running best under the lexicographic (max, sum) order.
+func (sc *moveScan) consider(m move) {
+	if m.delta <= layout.Epsilon || !sc.s.fits(m.obj, m.to, m.delta) {
+		return
+	}
+	max, sum := sc.s.tryMove(m)
+	if max < sc.bestMax-1e-15 || (max < sc.bestMax+1e-12 && sum < sc.bestSum-1e-12) {
+		sc.bestMax, sc.bestSum = max, sum
+		sc.best = m
+		sc.found = true
+	}
+}
+
+// tryPair prices every step fraction of moving object i from src to to,
+// deduplicating whole-assignment transfers promoted by the dust clamp.
+func (sc *moveScan) tryPair(i, src, to int, have float64, opt Options) {
+	fullTried := false
+	for _, f := range opt.StepFractions {
+		delta := have * f
+		if have-delta < 1e-3 {
+			delta = have // avoid leaving dust fractions behind
+		}
+		if delta == have {
+			if fullTried {
+				continue
+			}
+			fullTried = true
+		}
+		sc.consider(move{obj: i, from: src, to: to, delta: delta})
+	}
+}
+
 // bestMove scans candidate transfers off the most utilized target and
 // returns the one with the lexicographically lowest resulting (max, sum)
 // objective, if it improves on the current one. The scan itself checks the
 // limiter between objects so that cancellation interrupts even a single
 // iteration on very large instances; an interrupted scan reports no move,
 // which makes the caller stop with the pre-iteration layout intact.
+//
+// When Options.pruneBounds engages (fleet-scale problems, or pruning forced
+// by the caller), a bounded hottest-objects x least-utilized-targets scan
+// runs first; a full scan runs only when the pruned scan finds nothing, so
+// the search can declare convergence only in states the unpruned search
+// would also accept.
 func (s *transferState) bestMove(curMax, curSum float64, opt Options, lim *limiter) (move, bool) {
 	src, _ := maxOf(s.utils)
-	bestMax, bestSum := curMax, curSum
-	var best move
-	found := false
-
-	consider := func(m move) {
-		if m.delta <= layout.Epsilon || !s.fits(m.obj, m.to, m.delta) {
-			return
-		}
-		max, sum := s.tryMove(m)
-		if max < bestMax-1e-15 || (max < bestMax+1e-12 && sum < bestSum-1e-12) {
-			bestMax, bestSum = max, sum
-			best = m
-			found = true
-		}
-	}
-
 	movable := opt.movableSet(s.l.N)
+	if po, pt := opt.pruneBounds(s.l.N, s.l.M, s.inc != nil); po > 0 {
+		mv, found, interrupted := s.scanPruned(src, curMax, curSum, opt, movable, lim, po, pt)
+		if found || interrupted {
+			return mv, found
+		}
+		// Pruning-soundness fallback: the bounded scan is dry, so pay
+		// for one exhaustive scan before letting the descent stop here.
+	}
+	return s.scanFull(src, curMax, curSum, opt, movable, lim)
+}
+
+// scanFull prices every (object on src) x (other target) x (step fraction)
+// candidate.
+func (s *transferState) scanFull(src int, curMax, curSum float64, opt Options, movable func(int) bool, lim *limiter) (move, bool) {
+	sc := moveScan{s: s, bestMax: curMax, bestSum: curSum}
 	for i := 0; i < s.l.N; i++ {
 		if lim.stop() != nil {
 			return move{}, false
@@ -303,23 +364,52 @@ func (s *transferState) bestMove(curMax, curSum float64, opt Options, lim *limit
 			if to == src {
 				continue
 			}
-			fullTried := false
-			for _, f := range opt.StepFractions {
-				delta := have * f
-				if have-delta < 1e-3 {
-					delta = have // avoid leaving dust fractions behind
-				}
-				if delta == have {
-					if fullTried {
-						continue
-					}
-					fullTried = true
-				}
-				consider(move{obj: i, from: src, to: to, delta: delta})
-			}
+			sc.tryPair(i, src, to, have, opt)
 		}
 	}
-	return best, found
+	return sc.best, sc.found
+}
+
+// scanPruned prices only the po hottest movable objects on src against the
+// pt least-utilized other targets. Both rankings are deterministic: stable
+// sorts over ascending-id inputs break rate and utilization ties toward the
+// lower id, so pruned solves stay bit-identical at any worker count. The
+// third return distinguishes a dry scan (fall through to scanFull) from a
+// limiter interrupt (stop immediately).
+func (s *transferState) scanPruned(src int, curMax, curSum float64, opt Options, movable func(int) bool, lim *limiter, po, pt int) (mv move, found, interrupted bool) {
+	s.hot = s.hot[:0]
+	s.inc.ForEachActive(src, func(obj int, lam float64) {
+		if s.l.At(obj, src) > layout.Epsilon && movable(obj) {
+			s.hot = append(s.hot, hotObject{obj: obj, lam: lam})
+		}
+	})
+	sort.SliceStable(s.hot, func(a, b int) bool { return s.hot[a].lam > s.hot[b].lam })
+	if len(s.hot) > po {
+		s.hot = s.hot[:po]
+	}
+
+	s.cand = s.cand[:0]
+	for j := range s.utils {
+		if j != src {
+			s.cand = append(s.cand, j)
+		}
+	}
+	sort.SliceStable(s.cand, func(a, b int) bool { return s.utils[s.cand[a]] < s.utils[s.cand[b]] })
+	if len(s.cand) > pt {
+		s.cand = s.cand[:pt]
+	}
+
+	sc := moveScan{s: s, bestMax: curMax, bestSum: curSum}
+	for _, h := range s.hot {
+		if lim.stop() != nil {
+			return move{}, false, true
+		}
+		have := s.l.At(h.obj, src)
+		for _, to := range s.cand {
+			sc.tryPair(h.obj, src, to, have, opt)
+		}
+	}
+	return sc.best, sc.found, false
 }
 
 // perturb randomly reassigns a few objects' placements to escape local

@@ -1,0 +1,189 @@
+package rome
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// sparsePair builds a two-workload set where w0 carries a dense vector and
+// w1 the sparse equivalent, so every accessor can be checked across the
+// representation boundary.
+func sparsePair(t *testing.T) *Set {
+	t.Helper()
+	set, err := NewSet(
+		&Workload{Name: "A", ReadSize: 8192, ReadRate: 10, RunCount: 1,
+			Overlap: []float64{1, 0.25, 0}},
+		&Workload{Name: "B", ReadSize: 8192, ReadRate: 20, RunCount: 1,
+			SparseOverlap: []OverlapEntry{{Index: 0, Value: 0.25}}},
+		&Workload{Name: "C", ReadSize: 8192, ReadRate: 30, RunCount: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestSparseOverlapLookup(t *testing.T) {
+	set := sparsePair(t)
+	cases := []struct {
+		i, k int
+		want float64
+	}{
+		{0, 1, 0.25}, {1, 0, 0.25}, // cross-representation symmetry
+		{0, 2, 0}, {2, 0, 0}, // absent entries read as 0
+		{1, 2, 0},            // index past the sparse entries
+		{1, 1, 1}, {2, 2, 1}, // self-overlap
+	}
+	for _, c := range cases {
+		if got := set.Overlap(c.i, c.k); got != c.want {
+			t.Errorf("Overlap(%d, %d) = %g, want %g", c.i, c.k, got, c.want)
+		}
+	}
+}
+
+func TestForEachOverlapEquivalence(t *testing.T) {
+	// A dense vector and its sparse conversion must yield identical
+	// iteration sequences.
+	dense := &Workload{Name: "D", ReadSize: 8192, ReadRate: 1, RunCount: 1,
+		Overlap: []float64{0.5, 1, 0, 0.75, 0}}
+	var sp []OverlapEntry
+	for k, v := range dense.Overlap {
+		if k != 1 && v != 0 {
+			sp = append(sp, OverlapEntry{Index: k, Value: v})
+		}
+	}
+	sparse := &Workload{Name: "D", ReadSize: 8192, ReadRate: 1, RunCount: 1,
+		SparseOverlap: sp}
+
+	collect := func(s *Set) []float64 {
+		var got []float64
+		s.ForEachOverlap(1, func(k int, v float64) {
+			got = append(got, float64(k), v)
+		})
+		return got
+	}
+	pad := func(w *Workload) *Set {
+		ws := []*Workload{
+			{Name: "X0", ReadSize: 8192, ReadRate: 1, RunCount: 1},
+			w,
+			{Name: "X2", ReadSize: 8192, ReadRate: 1, RunCount: 1},
+			{Name: "X3", ReadSize: 8192, ReadRate: 1, RunCount: 1},
+			{Name: "X4", ReadSize: 8192, ReadRate: 1, RunCount: 1},
+		}
+		return &Set{Workloads: ws}
+	}
+	dg, sg := collect(pad(dense)), collect(pad(sparse))
+	if len(dg) != len(sg) {
+		t.Fatalf("dense iteration yielded %d values, sparse %d", len(dg), len(sg))
+	}
+	for i := range dg {
+		if dg[i] != sg[i] {
+			t.Fatalf("iteration diverges at %d: dense %v, sparse %v", i, dg, sg)
+		}
+	}
+}
+
+func TestSparseOverlapValidation(t *testing.T) {
+	base := func() *Workload {
+		return &Workload{Name: "W", ReadSize: 8192, ReadRate: 1, RunCount: 1}
+	}
+	partner := &Workload{Name: "P", ReadSize: 8192, ReadRate: 1, RunCount: 1,
+		SparseOverlap: []OverlapEntry{{Index: 0, Value: 0.5}}}
+
+	cases := []struct {
+		name string
+		mut  func(w *Workload)
+		want string
+	}{
+		{"both representations", func(w *Workload) {
+			w.Overlap = []float64{1, 0.5}
+			w.SparseOverlap = []OverlapEntry{{Index: 1, Value: 0.5}}
+		}, "both dense and sparse"},
+		{"negative index", func(w *Workload) {
+			w.SparseOverlap = []OverlapEntry{{Index: -1, Value: 0.5}}
+		}, "negative index"},
+		{"unsorted", func(w *Workload) {
+			w.SparseOverlap = []OverlapEntry{{Index: 1, Value: 0.5}, {Index: 1, Value: 0.5}}
+		}, "strictly ascending"},
+		{"out of range value", func(w *Workload) {
+			w.SparseOverlap = []OverlapEntry{{Index: 1, Value: 1.5}}
+		}, "outside [0,1]"},
+		{"index past set", func(w *Workload) {
+			w.SparseOverlap = []OverlapEntry{{Index: 7, Value: 0.5}}
+		}, "for a 2-workload set"},
+		{"asymmetric", func(w *Workload) {
+			w.SparseOverlap = []OverlapEntry{{Index: 1, Value: 0.9}}
+		}, "asymmetric"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := base()
+			c.mut(w)
+			_, err := NewSet(w, partner)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("NewSet error = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestSparseOverlapCloneReplicateMerge(t *testing.T) {
+	set := sparsePair(t)
+
+	c := set.Clone()
+	c.Workloads[1].SparseOverlap[0].Value = 0.99
+	if set.Workloads[1].SparseOverlap[0].Value != 0.25 {
+		t.Fatal("Clone aliases the sparse overlap slice")
+	}
+
+	rep := set.Replicate(2)
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("replicated sparse set invalid: %v", err)
+	}
+	base := set.Len()
+	// Copy 2's B overlaps copy 2's A, not copy 1's.
+	if got := rep.Overlap(base+1, base); got != 0.25 {
+		t.Errorf("replica sparse overlap within block = %g, want 0.25", got)
+	}
+	if got := rep.Overlap(base+1, 0); got != 0 {
+		t.Errorf("replica sparse overlap across blocks = %g, want 0", got)
+	}
+	// The sparse representation survives replication (no dense blow-up).
+	if rep.Workloads[base+1].Overlap != nil {
+		t.Error("Replicate densified a sparse workload")
+	}
+
+	other := set.Clone()
+	for _, w := range other.Workloads {
+		w.Name += "'"
+	}
+	mg := Merge(set, other)
+	if err := mg.Validate(); err != nil {
+		t.Fatalf("merged sparse set invalid: %v", err)
+	}
+	if got := mg.Overlap(base+1, base); got != 0.25 {
+		t.Errorf("merged sparse overlap within block = %g, want 0.25", got)
+	}
+	if got := mg.Overlap(base+1, 1); got != 0 {
+		t.Errorf("merged sparse overlap across blocks = %g, want 0", got)
+	}
+}
+
+func TestSparseOverlapJSONRoundTrip(t *testing.T) {
+	set := sparsePair(t)
+	data, err := json.Marshal(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"sparse_overlap"`) {
+		t.Fatalf("sparse overlap not serialized: %s", data)
+	}
+	var back Set
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Overlap(1, 0); got != 0.25 {
+		t.Fatalf("round-tripped sparse overlap = %g, want 0.25", got)
+	}
+}
