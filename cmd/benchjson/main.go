@@ -7,7 +7,9 @@
 // Lines that are not benchmark results (headers, PASS/ok trailers) are
 // ignored. ns/op is always present; B/op and allocs/op appear when the
 // benchmark ran with -benchmem or called b.ReportAllocs, and are emitted as
-// null otherwise.
+// null otherwise. Custom units published via b.ReportMetric (e.g. "p99-ms",
+// "req/s" from the advisord load test's BENCH_10.json) are collected under
+// "extra", keyed by unit.
 package main
 
 import (
@@ -22,11 +24,12 @@ import (
 )
 
 type result struct {
-	Name        string   `json:"name"`
-	Iterations  int64    `json:"iterations"`
-	NsPerOp     float64  `json:"ns_per_op"`
-	BytesPerOp  *float64 `json:"bytes_per_op"`
-	AllocsPerOp *float64 `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op"`
+	AllocsPerOp *float64           `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // parseLine parses one benchmark result line, e.g.
@@ -60,6 +63,11 @@ func parseLine(line string) (result, bool) {
 		case "allocs/op":
 			a := v
 			r.AllocsPerOp = &a
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[fields[i+1]] = v
 		}
 	}
 	if !seen {

@@ -80,7 +80,10 @@ type Record struct {
 }
 
 // journalWriter appends CRC-framed controller records to a sink. A nil
-// writer (no journal configured) accepts everything silently.
+// writer (no journal configured) accepts everything silently. Every
+// controller record is a commit point (each one advances the loop's state
+// machine), so each append fsyncs a sync-capable sink before the
+// transition it announces takes effect.
 type journalWriter struct {
 	w io.Writer
 }
@@ -93,7 +96,10 @@ func (j *journalWriter) append(r Record) error {
 	if err != nil {
 		return err
 	}
-	return wal.Append(j.w, body)
+	if err := wal.Append(j.w, body); err != nil {
+		return err
+	}
+	return wal.Sync(j.w)
 }
 
 // typeTag is the minimal decode that routes a frame to its namespace.

@@ -128,7 +128,7 @@ func TestAdvisorRejectsInvalidInstance(t *testing.T) {
 func TestConsistentCandidates(t *testing.T) {
 	// The paper's example: (47%, 35%, 18%) admits exactly (100,0,0),
 	// (50,50,0), (33,33,33).
-	cands := consistentCandidates([]float64{0.47, 0.35, 0.18})
+	cands := consistentCandidates([]float64{0.47, 0.35, 0.18}, 3)
 	want := [][]float64{
 		{1, 0, 0},
 		{0.5, 0.5, 0},
@@ -148,14 +148,14 @@ func TestConsistentCandidates(t *testing.T) {
 
 func TestConsistentCandidatesTieBreak(t *testing.T) {
 	// Equal fractions tie-break by target index (footnote 1).
-	cands := consistentCandidates([]float64{0.5, 0.5})
+	cands := consistentCandidates([]float64{0.5, 0.5}, 2)
 	if cands[0][0] != 1 || cands[0][1] != 0 {
 		t.Fatalf("tie not broken by index: %v", cands[0])
 	}
 }
 
 func TestBalancingCandidates(t *testing.T) {
-	cands := balancingCandidates([]float64{0.9, 0.1, 0.5})
+	cands := balancingCandidates([]float64{0.9, 0.1, 0.5}, 3)
 	// k=1: least-loaded target (1) gets 100%.
 	if cands[0][1] != 1 {
 		t.Fatalf("k=1 candidate = %v", cands[0])
@@ -232,6 +232,61 @@ func TestRegularizeTightCapacity(t *testing.T) {
 	}
 	if err := inst.ValidateLayout(reg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRegularizeFleetScaleBoundedWidths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet-scale regularization")
+	}
+	// n*m == 1<<18: exactly the threshold at which the candidate-width cap
+	// engages. Below it (every paper-scale problem) the exhaustive
+	// all-widths scan still runs, so output there is unchanged.
+	n, m := 512, 512
+	inst := layouttest.Fleet(n, m)
+	for _, tgt := range inst.Targets {
+		tgt.Capacity *= 4 // headroom: the test layout is deliberately lopsided
+	}
+	ev := layout.NewEvaluator(inst)
+	l := layout.New(n, m)
+	for i := 0; i < n; i++ {
+		row := make([]float64, m)
+		for k, f := range []float64{0.4, 0.3, 0.2, 0.1} {
+			row[(i+k)%m] = f
+		}
+		l.SetRow(i, row)
+	}
+	if err := inst.ValidateLayout(l); err != nil {
+		t.Fatal(err)
+	}
+	// The batch load pass must be bit-identical to the per-object path it
+	// replaced (sampled: the per-object path is the O(N^2) scan).
+	loads := ev.ObjectLoads(l)
+	for i := 0; i < n; i += 67 {
+		if want := ev.ObjectLoad(l, i); loads[i] != want {
+			t.Fatalf("ObjectLoads[%d] = %v, ObjectLoad = %v (not bit-identical)", i, loads[i], want)
+		}
+	}
+	reg, err := Regularize(ev, inst, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reg.IsRegular() {
+		t.Fatal("result not regular")
+	}
+	if err := inst.ValidateLayout(reg); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		width := 0
+		for j := 0; j < m; j++ {
+			if reg.At(i, j) > layout.Epsilon {
+				width++
+			}
+		}
+		if width > 64 {
+			t.Fatalf("object %d striped across %d targets; candidate width cap not applied", i, width)
+		}
 	}
 }
 

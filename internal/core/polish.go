@@ -21,6 +21,13 @@ func PolishRegular(ev *layout.Evaluator, inst *layout.Instance, l *layout.Layout
 	inc := ev.NewIncremental(cur)
 	utils := inc.Utilizations(nil)
 
+	// Same fleet-scale candidate bound as Regularize: paper-scale problems
+	// keep the exhaustive all-widths scan.
+	maxWidth := cur.M
+	if cur.N*cur.M >= regularizeAutoPairs && maxWidth > regularizeMaxWidth {
+		maxWidth = regularizeMaxWidth
+	}
+
 	const maxPasses = 8
 	for pass := 0; pass < maxPasses; pass++ {
 		improved := false
@@ -29,8 +36,8 @@ func PolishRegular(ev *layout.Evaluator, inst *layout.Instance, l *layout.Layout
 			curObj, curSum := pairOf(utils)
 
 			var candidates [][]float64
-			candidates = append(candidates, consistentCandidates(oldRow)...)
-			candidates = append(candidates, balancingCandidates(utils)...)
+			candidates = append(candidates, consistentCandidates(oldRow, maxWidth)...)
+			candidates = append(candidates, balancingCandidates(utils, maxWidth)...)
 
 			bestMax, bestSum := curObj, curSum
 			var bestRow []float64

@@ -27,21 +27,31 @@ import (
 // for some object is invalid, Regularize fails (the paper notes manual
 // intervention would then be required).
 func Regularize(ev *layout.Evaluator, inst *layout.Instance, solved *layout.Layout) (*layout.Layout, error) {
-	n := solved.N
+	n, m := solved.N, solved.M
 	l := solved.Clone()
 	sizes := inst.Sizes()
 	caps := inst.Capacities()
 
-	// Regularization order: decreasing total imposed load.
+	// Regularization order: decreasing total imposed load. The loads are
+	// precomputed in one batch pass (bit-identical to per-object
+	// ev.ObjectLoad calls, which would cost O(N) target sweeps each), so
+	// the ordering step is the O(N log N) sort, not an O(N^2) scan.
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
-	loads := make([]float64, n)
-	for i := range loads {
-		loads[i] = ev.ObjectLoad(solved, i)
-	}
+	loads := ev.ObjectLoads(solved)
 	sort.SliceStable(order, func(a, b int) bool { return loads[order[a]] > loads[order[b]] })
+
+	// On fleet-scale problems generating all M stripe widths per object
+	// would reintroduce an O(N*M^2) term; bound the widths considered, the
+	// same way the transfer search bounds its candidate scans. Paper-scale
+	// problems stay below the threshold and keep the exhaustive scan, so
+	// their output is unchanged.
+	maxWidth := m
+	if n*m >= regularizeAutoPairs && maxWidth > regularizeMaxWidth {
+		maxWidth = regularizeMaxWidth
+	}
 
 	// A candidate row changes only the targets whose own cell changes, so
 	// the incremental kernel prices each candidate in O(changed targets *
@@ -56,8 +66,8 @@ func Regularize(ev *layout.Evaluator, inst *layout.Instance, solved *layout.Layo
 		oldRow := l.Row(i)
 
 		var candidates [][]float64
-		candidates = append(candidates, consistentCandidates(oldRow)...)
-		candidates = append(candidates, balancingCandidates(utils)...)
+		candidates = append(candidates, consistentCandidates(oldRow, maxWidth)...)
+		candidates = append(candidates, balancingCandidates(utils, maxWidth)...)
 
 		bestObj := -1.0
 		var bestRow []float64
@@ -89,10 +99,21 @@ func Regularize(ev *layout.Evaluator, inst *layout.Instance, solved *layout.Layo
 	return l, nil
 }
 
-// consistentCandidates returns the M regular rows consistent with the
-// solver's row: for k = 1..M, the k targets with the largest fractions (ties
-// broken by index, as footnote 1 of the paper prescribes) receive 1/k each.
-func consistentCandidates(row []float64) [][]float64 {
+// Fleet-scale candidate bound: when a problem reaches this many
+// object-target pairs (the same threshold at which the transfer search's
+// candidate pruning auto-engages; the paper's largest study, 160 x 40,
+// stays three orders of magnitude below it), candidate stripe widths are
+// capped at regularizeMaxWidth instead of ranging over all M targets.
+const (
+	regularizeAutoPairs = 1 << 18
+	regularizeMaxWidth  = 64
+)
+
+// consistentCandidates returns the regular rows consistent with the
+// solver's row: for k = 1..maxWidth, the k targets with the largest
+// fractions (ties broken by index, as footnote 1 of the paper prescribes)
+// receive 1/k each.
+func consistentCandidates(row []float64, maxWidth int) [][]float64 {
 	m := len(row)
 	idx := make([]int, m)
 	for j := range idx {
@@ -100,16 +121,16 @@ func consistentCandidates(row []float64) [][]float64 {
 	}
 	sort.SliceStable(idx, func(a, b int) bool { return row[idx[a]] > row[idx[b]] })
 
-	out := make([][]float64, 0, m)
-	for k := 1; k <= m; k++ {
+	out := make([][]float64, 0, maxWidth)
+	for k := 1; k <= maxWidth; k++ {
 		out = append(out, layout.RegularRow(m, idx[:k]))
 	}
 	return out
 }
 
-// balancingCandidates returns the M regular rows that place the object on
-// the k least-utilized targets, for k = 1..M.
-func balancingCandidates(utils []float64) [][]float64 {
+// balancingCandidates returns the regular rows that place the object on
+// the k least-utilized targets, for k = 1..maxWidth.
+func balancingCandidates(utils []float64, maxWidth int) [][]float64 {
 	m := len(utils)
 	idx := make([]int, m)
 	for j := range idx {
@@ -117,8 +138,8 @@ func balancingCandidates(utils []float64) [][]float64 {
 	}
 	sort.SliceStable(idx, func(a, b int) bool { return utils[idx[a]] < utils[idx[b]] })
 
-	out := make([][]float64, 0, m)
-	for k := 1; k <= m; k++ {
+	out := make([][]float64, 0, maxWidth)
+	for k := 1; k <= maxWidth; k++ {
 		out = append(out, layout.RegularRow(m, idx[:k]))
 	}
 	return out

@@ -234,6 +234,24 @@ func (ev *Evaluator) ObjectLoad(l *Layout, i int) float64 {
 	return load
 }
 
+// ObjectLoads returns ObjectLoad for every object in a single pass over the
+// targets: each target's request rates are computed once and charged to all
+// objects, so the whole vector costs what one ObjectLoad call does instead
+// of N of them. Every object accumulates its per-target terms in the same
+// ascending-j order as ObjectLoad, so the results are bit-identical to the
+// per-object path.
+func (ev *Evaluator) ObjectLoads(l *Layout) []float64 {
+	loads := make([]float64, l.N)
+	rates := make([]float64, l.N)
+	for j := 0; j < l.M; j++ {
+		ev.targetRates(l, j, rates)
+		for i := 0; i < l.N; i++ {
+			loads[i] += ev.objectUtil(l, i, j, rates)
+		}
+	}
+	return loads
+}
+
 // Breakdown describes one target's predicted utilization and its per-object
 // composition, used by the reporting code behind paper Fig. 13.
 type Breakdown struct {

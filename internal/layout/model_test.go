@@ -116,6 +116,29 @@ func TestEvaluatorIdleObjectContributesNothing(t *testing.T) {
 	}
 }
 
+func TestObjectLoadsBitIdenticalToObjectLoad(t *testing.T) {
+	inst := testInstance(t, 4)
+	ev := NewEvaluator(inst)
+	frac := New(4, 4)
+	frac.SetRow(0, []float64{0.4, 0.3, 0.2, 0.1})
+	frac.SetRow(1, []float64{0, 0.7, 0.3, 0})
+	frac.SetRow(2, []float64{0.5, 0, 0, 0.5})
+	frac.SetRow(3, []float64{1, 0, 0, 0})
+	for name, l := range map[string]*Layout{
+		"see":      SEE(4, 4),
+		"allonone": AllOnOne(4, 4, 1),
+		"frac":     frac,
+	} {
+		loads := ev.ObjectLoads(l)
+		for i := 0; i < 4; i++ {
+			if want := ev.ObjectLoad(l, i); loads[i] != want {
+				t.Errorf("%s: ObjectLoads[%d] = %v, ObjectLoad = %v (not bit-identical)",
+					name, i, loads[i], want)
+			}
+		}
+	}
+}
+
 func TestInstanceStripeSizeOverride(t *testing.T) {
 	inst := testInstance(t, 2)
 	inst.StripeSize = 1 << 20

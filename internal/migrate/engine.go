@@ -50,8 +50,17 @@ type Options struct {
 	// capacity cycles.
 	Scratch ScratchSpec
 	// Journal receives write-ahead records. A nil journal still executes
-	// correctly but cannot be resumed after a crash.
+	// correctly but cannot be resumed after a crash. When the writer is
+	// sync-capable (implements Sync() error, e.g. *os.File) every
+	// state-transition record is fsynced before the transition applies.
 	Journal io.Writer
+	// SyncEvery batches journal fsyncs of progress records: up to
+	// SyncEvery-1 consecutive progress records may stay unsynced before a
+	// sync is forced (0 or 1 syncs after every record). Transition
+	// records (plan, state, abort, done) always sync regardless — losing
+	// a progress record only costs a recopy from the previous durable
+	// mark, losing a transition record would break exactly-once resume.
+	SyncEvery int
 	// Resume holds the contents of a prior journal for crash recovery.
 	// Execute decodes and recovers it, verifies the script matches, and
 	// continues from the checkpoint, appending new records to Journal —
@@ -205,7 +214,7 @@ func NewEngine(sim IO, base *layout.Layout, steps []Step, opt Options, done func
 		io:        sim,
 		steps:     steps,
 		opt:       opt,
-		jw:        &journalWriter{w: opt.Journal},
+		jw:        &journalWriter{w: opt.Journal, syncEvery: opt.SyncEvery},
 		state:     make([]StepState, len(steps)),
 		progress:  make([]int64, len(steps)),
 		layout:    base.Clone(),

@@ -300,6 +300,160 @@ func TestCrashAtEveryJournalRecord(t *testing.T) {
 	}
 }
 
+// powerLossWriter models a journal file on a real disk: Write lands in an
+// OS buffer and only Sync makes it durable. A crash discards the unsynced
+// suffix — the failure mode the fsync-at-commit-point protocol exists for
+// (a plain process crash never loses acknowledged writes; a power loss
+// does).
+type powerLossWriter struct {
+	buf       bytes.Buffer
+	synced    int // durable prefix length
+	remaining int // appends before the injected power loss
+}
+
+func (w *powerLossWriter) Write(p []byte) (int, error) {
+	if w.remaining <= 0 {
+		return 0, errors.New("injected power loss")
+	}
+	w.remaining--
+	return w.buf.Write(p)
+}
+
+func (w *powerLossWriter) Sync() error {
+	w.synced = w.buf.Len()
+	return nil
+}
+
+// durable returns what survives the power loss: the synced prefix only.
+func (w *powerLossWriter) durable() []byte {
+	return append([]byte(nil), w.buf.Bytes()[:w.synced]...)
+}
+
+// TestCrashAtSyncBoundary extends the crash-at-every-record torture test
+// with power-loss semantics under batched syncs: with SyncEvery=3 a crash
+// can land after a progress record was written but before it was synced,
+// so the record vanishes even though the engine's append succeeded. The
+// stacked runs must still converge with every step committed exactly once
+// — lost progress records may only cost recopied bytes, never correctness.
+func TestCrashAtSyncBoundary(t *testing.T) {
+	sys, from, to := migrationFixture()
+	sizes, caps := fixtureSizesCaps(sys)
+	var durable []byte
+	var final *ExecuteResult
+	crashes, discards := 0, 0
+	allow := 1
+	for iter := 0; iter < 400; iter++ {
+		w := &powerLossWriter{remaining: allow}
+		w.buf.Write(durable)
+		w.synced = len(durable)
+		res, err := Execute(sys, from, to, nil, replay.Options{Seed: 1}, Options{
+			Scratch:         fixtureScratch(),
+			CheckpointBytes: 2 * mib,
+			SyncEvery:       3,
+			Journal:         w,
+			Resume:          durable,
+		})
+		if err == nil {
+			final = res
+			break
+		}
+		crashes++
+		if res == nil || res.Migration == nil || !res.Migration.Crashed {
+			t.Fatalf("iteration %d: error %v without a crashed result", iter, err)
+		}
+		if w.buf.Len() > w.synced {
+			discards++ // the crash really did swallow an unsynced suffix
+		}
+		next := w.durable()
+		if len(next) > len(durable) {
+			allow = 1 // durable progress: go back to crashing ASAP
+		} else {
+			// No record became durable (the appends since the last sync
+			// were all unsynced progress records). Allow one more append
+			// next time so the run eventually reaches a forced sync.
+			allow++
+		}
+		durable = next
+		if len(durable) == 0 {
+			continue
+		}
+		records, derr := DecodeJournal(durable)
+		if derr != nil {
+			t.Fatalf("iteration %d: durable journal corrupt: %v", iter, derr)
+		}
+		ck, rerr := Recover(records)
+		if rerr != nil {
+			t.Fatalf("iteration %d: durable journal unrecoverable: %v", iter, rerr)
+		}
+		mid := from.Clone()
+		for i, st := range ck.State {
+			if st == StateCommitted {
+				applyStep(mid, ck.Steps[i])
+			}
+		}
+		if err := mid.CheckIntegrity(); err != nil {
+			t.Fatalf("iteration %d: mid-migration layout inconsistent: %v", iter, err)
+		}
+		if err := mid.CheckCapacity(sizes, caps); err != nil {
+			t.Fatalf("iteration %d: mid-migration layout overflows: %v", iter, err)
+		}
+	}
+	if final == nil {
+		t.Fatal("migration never completed within 400 power-loss-resume cycles")
+	}
+	m := final.Migration
+	if !m.Done {
+		t.Fatal("final run did not report Done")
+	}
+	if m.CommittedBytes != ScriptBytes(final.Script) {
+		t.Fatalf("committed %d bytes across all runs, want %d (no lost or double-counted bytes)",
+			m.CommittedBytes, ScriptBytes(final.Script))
+	}
+	if !layoutsEqual(m.Layout, to) {
+		t.Fatalf("converged layout differs from target:\n%v\nvs\n%v", m.Layout, to)
+	}
+	if crashes < 2*len(final.Script) {
+		t.Fatalf("only %d power-loss cycles for a %d-step script", crashes, len(final.Script))
+	}
+	if discards == 0 {
+		t.Fatal("no crash ever discarded an unsynced suffix; the sync boundary was never exercised")
+	}
+}
+
+// TestJournalWriterSyncBatching pins the sync policy: transition records
+// always sync, progress records sync every syncEvery-th append.
+func TestJournalWriterSyncBatching(t *testing.T) {
+	w := &powerLossWriter{remaining: 1 << 20}
+	jw := &journalWriter{w: w, syncEvery: 3}
+	must := func(r Record) {
+		t.Helper()
+		if err := jw.append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(Record{T: "state", Step: 0, State: StateCopying.String()})
+	if w.synced != w.buf.Len() {
+		t.Fatal("state record not synced immediately")
+	}
+	must(Record{T: "progress", Step: 0, Done: 1})
+	must(Record{T: "progress", Step: 0, Done: 2})
+	if w.synced == w.buf.Len() {
+		t.Fatal("progress records synced before the batch filled")
+	}
+	must(Record{T: "progress", Step: 0, Done: 3})
+	if w.synced != w.buf.Len() {
+		t.Fatal("third progress record did not force a sync")
+	}
+	must(Record{T: "progress", Step: 0, Done: 4})
+	if w.synced == w.buf.Len() {
+		t.Fatal("batch counter did not reset after the forced sync")
+	}
+	must(Record{T: "state", Step: 0, State: StateCopied.String()})
+	if w.synced != w.buf.Len() {
+		t.Fatal("transition record after unsynced progress not synced")
+	}
+}
+
 // fixtureInstance mirrors migrationFixture as a solvable layout.Instance so
 // RecommendRepair can replan an aborted migration of it.
 func fixtureInstance(sys *replay.System) *layout.Instance {

@@ -75,12 +75,21 @@ type Record struct {
 
 // journalWriter appends CRC-framed records to a sink. A nil writer (no
 // journal configured) accepts everything silently.
+//
+// Durability: state-transition records (plan, state, abort, done) are
+// fsynced before append returns, so the "journal before transition"
+// protocol holds across power loss, not just process crashes. Progress
+// records may batch syncs (syncEvery > 1): losing one only costs a recopy
+// from the previous durable mark, never correctness.
 type journalWriter struct {
-	w io.Writer
+	w         io.Writer
+	syncEvery int // progress records per forced sync; <= 1 syncs every record
+	unsynced  int // progress records appended since the last sync
 }
 
-// append journals one record. Any write error — including a short write,
-// which leaves a torn line — is a crash from the engine's point of view.
+// append journals one record. Any write or sync error — including a short
+// write, which leaves a torn line — is a crash from the engine's point of
+// view.
 func (j *journalWriter) append(r Record) error {
 	if j == nil || j.w == nil {
 		return nil
@@ -89,7 +98,20 @@ func (j *journalWriter) append(r Record) error {
 	if err != nil {
 		return err
 	}
-	return wal.Append(j.w, body)
+	if err := wal.Append(j.w, body); err != nil {
+		return err
+	}
+	if r.T == "progress" {
+		j.unsynced++
+		if j.syncEvery > 1 && j.unsynced < j.syncEvery {
+			return nil
+		}
+	}
+	if err := wal.Sync(j.w); err != nil {
+		return err
+	}
+	j.unsynced = 0
+	return nil
 }
 
 // DecodeJournal parses journal bytes into records. A torn final line (no

@@ -105,14 +105,17 @@ func (c *CLI) Start(logDst io.Writer) (*Session, error) {
 			s.Logger.Info("serving metrics", "addr", s.Addr)
 		}
 	}
-	if c.MetricsOut != "" {
-		// A killed run should still leave a usable metrics file: flush on
-		// SIGINT/SIGTERM, then restore the default disposition and
+	if c.MetricsOut != "" || c.Listen != "" {
+		// A killed run should still leave a usable metrics file and not
+		// sever in-flight scrapes: flush and gracefully drain the listener
+		// on SIGINT/SIGTERM, then restore the default disposition and
 		// re-deliver the signal so the process dies as it would have.
-		// The goroutines capture the channels locally: Close nils the
-		// Session fields, and the fields must not be read concurrently.
+		// The goroutines capture the channels and server locally: Close
+		// nils the Session fields, and the fields must not be read
+		// concurrently.
 		sig := make(chan os.Signal, 1)
 		s.sig = sig
+		srv := s.server
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		go func() {
 			got, ok := <-sig
@@ -120,11 +123,14 @@ func (c *CLI) Start(logDst io.Writer) (*Session, error) {
 				return
 			}
 			s.flushMetrics()
+			_ = Shutdown(srv, 2*time.Second)
 			signal.Stop(sig)
 			if p, err := os.FindProcess(os.Getpid()); err == nil {
 				_ = p.Signal(got)
 			}
 		}()
+	}
+	if c.MetricsOut != "" {
 		if c.MetricsFlush > 0 {
 			stop, done := make(chan struct{}), make(chan struct{})
 			s.flushStop, s.flushDone = stop, done
@@ -230,7 +236,7 @@ func (s *Session) Close() error {
 		if s.cli.ListenHold > 0 {
 			time.Sleep(s.cli.ListenHold)
 		}
-		keep(s.server.Close())
+		keep(Shutdown(s.server, 2*time.Second))
 		s.server = nil
 	}
 	if s.traceFile != nil {

@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // NewHandler returns an http.Handler exposing the registry:
@@ -39,6 +41,30 @@ func NewHandler(reg *Registry) http.Handler {
 	return mux
 }
 
+// Server timeout policy shared by every HTTP endpoint in the repo (the obs
+// exposition and advisord). ReadHeaderTimeout alone is what protects the
+// listener from slow-loris clients; without it one client trickling header
+// bytes pins a connection (and its goroutine) forever. The profiling
+// endpoints stream for up to 30s (?seconds=N), so there is deliberately no
+// WriteTimeout here — a scrape that hangs on write is bounded by
+// IdleTimeout once the kernel buffer fills.
+const (
+	ReadHeaderTimeout = 5 * time.Second
+	ReadTimeout       = 30 * time.Second
+	IdleTimeout       = 2 * time.Minute
+)
+
+// NewServer wraps h in an http.Server carrying the repo's standard
+// timeouts.
+func NewServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: ReadHeaderTimeout,
+		ReadTimeout:       ReadTimeout,
+		IdleTimeout:       IdleTimeout,
+	}
+}
+
 // Serve starts the exposition endpoint on addr (e.g. "localhost:0") in a
 // background goroutine and returns the server plus the bound address —
 // useful when addr requests an ephemeral port. The caller owns shutdown
@@ -48,7 +74,21 @@ func Serve(addr string, reg *Registry) (*http.Server, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: NewHandler(reg)}
+	srv := NewServer(NewHandler(reg))
 	go func() { _ = srv.Serve(ln) }()
 	return srv, ln.Addr().String(), nil
+}
+
+// Shutdown gracefully drains srv, falling back to a hard Close when in-
+// flight requests do not finish within the grace period. Nil-safe.
+func Shutdown(srv *http.Server, grace time.Duration) error {
+	if srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return srv.Close()
+	}
+	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func get(t *testing.T, srv *httptest.Server, path string) (string, string) {
@@ -75,6 +76,35 @@ func TestHandlerNilRegistry(t *testing.T) {
 	}
 	if body, _ := get(t, srv, "/metrics.json"); strings.TrimSpace(body) != "{}" {
 		t.Errorf("nil registry /metrics.json = %q", body)
+	}
+}
+
+// TestServeHasTimeouts pins the slow-client protection: a Serve'd server
+// must carry the standard timeouts (a zero ReadHeaderTimeout would let one
+// client trickling header bytes pin a connection forever), and Shutdown
+// must drain it so new connections are refused.
+func TestServeHasTimeouts(t *testing.T) {
+	srv, addr, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.ReadHeaderTimeout != ReadHeaderTimeout {
+		t.Errorf("ReadHeaderTimeout = %v, want %v", srv.ReadHeaderTimeout, ReadHeaderTimeout)
+	}
+	if srv.ReadTimeout != ReadTimeout {
+		t.Errorf("ReadTimeout = %v, want %v", srv.ReadTimeout, ReadTimeout)
+	}
+	if srv.IdleTimeout != IdleTimeout {
+		t.Errorf("IdleTimeout = %v, want %v", srv.IdleTimeout, IdleTimeout)
+	}
+	if err := Shutdown(srv, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("listener still accepting after Shutdown")
+	}
+	if err := Shutdown(nil, time.Second); err != nil {
+		t.Errorf("nil Shutdown: %v", err)
 	}
 }
 

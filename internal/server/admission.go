@@ -1,0 +1,49 @@
+package server
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrOverloaded reports that the daemon's wait queue is full: the request
+// was rejected at admission rather than allowed to pile onto the solver
+// pool. Clients should back off and retry (HTTP 503).
+var ErrOverloaded = errors.New("server: overloaded, wait queue full")
+
+// admission is the daemon's two-stage admission controller for solver-bound
+// work (advise, repair, workload fitting). A bounded worker pool caps how
+// many solves run concurrently, and a bounded wait queue caps how many
+// admitted requests may be waiting for a worker. A burst beyond both bounds
+// degrades to an immediate ErrOverloaded instead of unbounded goroutine and
+// memory growth — the daemon queues, it does not OOM.
+type admission struct {
+	slots chan struct{} // one token per running solve
+	queue chan struct{} // one token per admitted (queued or running) request
+}
+
+func newAdmission(workers, depth int) *admission {
+	return &admission{
+		slots: make(chan struct{}, workers),
+		queue: make(chan struct{}, workers+depth),
+	}
+}
+
+// acquire admits the request and blocks until a worker slot is free (or ctx
+// is done). It returns a release function exactly when err is nil.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return nil, ErrOverloaded
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots; <-a.queue }, nil
+	case <-ctx.Done():
+		<-a.queue
+		return nil, ctx.Err()
+	}
+}
+
+// inflight reports the number of admitted requests (running + queued).
+func (a *admission) inflight() int { return len(a.queue) }

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// BenchmarkAdviseLoad hammers the advisor with waves of concurrent advise
+// requests across several tenants and reports tail latency and throughput —
+// this is the load gate behind BENCH_10.json:
+//
+//	go test -run '^$' -bench AdviseLoad -benchtime 1x ./internal/server/ | benchjson -o BENCH_10.json
+//
+// Each wave is loadConcurrency requests in flight at once (well past the
+// worker pool, so most of what is measured is admission queueing plus the
+// advise cache): seeds cycle over a small set, so the first wave pays real
+// solves and later requests coalesce per the single-flight cache — the
+// intended steady state for a fleet of dashboards polling the same tenants.
+// Requests bypass the TCP listener and drive the handler directly; socket
+// accept costs are not what this daemon's latency story is about.
+func BenchmarkAdviseLoad(b *testing.B) {
+	const (
+		tenants         = 8
+		loadConcurrency = 1024
+		seeds           = 8
+	)
+	s, err := New(Options{
+		Workers:         runtime.GOMAXPROCS(0),
+		QueueDepth:      2 * loadConcurrency,
+		SolveBudget:     10 * time.Second,
+		FastCalibration: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	h := s.Handler()
+
+	doc := testDoc(b, nil)
+	for i := 0; i < tenants; i++ {
+		req := httptest.NewRequest("PUT", fmt.Sprintf("/v1/tenants/t%d", i), bytes.NewReader(doc))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != 200 {
+			b.Fatalf("tenant upload: %d %s", w.Code, w.Body)
+		}
+	}
+
+	lat := make([]time.Duration, 0, b.N*loadConcurrency)
+	var mu sync.Mutex
+	var rejected int
+
+	b.ResetTimer()
+	start := time.Now()
+	for iter := 0; iter < b.N; iter++ {
+		var wg sync.WaitGroup
+		for i := 0; i < loadConcurrency; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				body := fmt.Sprintf(`{"seed": %d}`, i%seeds)
+				url := fmt.Sprintf("/v1/tenants/t%d/advise", i%tenants)
+				req := httptest.NewRequest("POST", url, bytes.NewReader([]byte(body)))
+				w := httptest.NewRecorder()
+				t0 := time.Now()
+				h.ServeHTTP(w, req)
+				d := time.Since(t0)
+				mu.Lock()
+				defer mu.Unlock()
+				switch w.Code {
+				case 200:
+					lat = append(lat, d)
+				case 503:
+					rejected++
+				default:
+					b.Errorf("advise: %d %s", w.Code, w.Body)
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	if len(lat) == 0 {
+		b.Fatal("no advise request succeeded")
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	quantile := func(q float64) time.Duration {
+		i := int(q * float64(len(lat)-1))
+		return lat[i]
+	}
+	b.ReportMetric(float64(quantile(0.50))/1e6, "p50-ms")
+	b.ReportMetric(float64(quantile(0.99))/1e6, "p99-ms")
+	b.ReportMetric(float64(len(lat))/elapsed.Seconds(), "req/s")
+	b.ReportMetric(float64(rejected)/float64(b.N), "rejected/wave")
+}

@@ -1,0 +1,557 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dblayout"
+	"dblayout/internal/control"
+	"dblayout/internal/layout"
+	"dblayout/internal/migrate"
+	"dblayout/internal/wal"
+)
+
+// Migrations run against a deterministic simulated I/O substrate
+// (control.SimIO) and journal to a per-tenant write-ahead file in the
+// controller journal format: a cbegin record fixes the base layout, each
+// migration opens an epoch with cplan, the engine's own records interleave
+// while the epoch is open, and a coutcome closes it. A daemon restart
+// replays the file through control.Recover and resumes the open epoch's
+// engine from its checkpoint — the engine's journal-before-transition
+// protocol makes the resume exactly-once (no step commits twice, no
+// committed byte is lost or double-counted).
+//
+// A pump goroutine per running migration advances the simulation in small
+// slices on a real-time tick, so migrations are genuinely in flight from
+// the API's point of view: status polls observe intermediate progress, and
+// killing the daemon mid-flight leaves a journal that ends at an arbitrary
+// record boundary, exactly like a crash.
+
+// migration is one tenant's in-flight (or just-finished) migration.
+type migration struct {
+	epoch    int
+	steps    []migrate.Step
+	engine   *migrate.Engine
+	sim      *control.SimIO
+	file     *os.File
+	stop     chan struct{} // closed to abandon the pump (crash semantics)
+	res      *migrate.Result
+	finished bool
+	err      string
+	// recovered marks a migration resumed from the journal at startup.
+	recovered bool
+}
+
+// migrateRequest tunes one migration run.
+type migrateRequest struct {
+	// Target is the destination layout (fraction rows). Absent, the
+	// daemon advises first (through the cache) and migrates to the
+	// recommendation.
+	Target [][]float64 `json:"target"`
+	Seed   int64       `json:"seed"`
+	// BytesPerSec throttles the copy stream (simulated bytes/second;
+	// 0 = unthrottled).
+	BytesPerSec float64 `json:"bytes_per_sec"`
+	ChunkBytes  int64   `json:"chunk_bytes"`
+	// CheckpointBytes is the progress-journaling granularity.
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
+	// SyncEvery batches progress-record fsyncs (see migrate.Options).
+	SyncEvery int `json:"sync_every"`
+}
+
+func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	if s.opt.DataDir == "" {
+		writeError(w, http.StatusServiceUnavailable, "migrations need a data directory (-data)")
+		return
+	}
+	t, st := s.snapshotFor(w, r)
+	if t == nil {
+		return
+	}
+	var req migrateRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(io.LimitReader(r.Body, 4<<20)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "parsing request: %v", err)
+			return
+		}
+	}
+
+	var target *layout.Layout
+	if req.Target != nil {
+		l, err := currentFrom(req.Target, len(st.names), len(st.caps))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "target layout: %v", err)
+			return
+		}
+		if err := l.CheckCapacity(st.sizes, st.caps); err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "target layout: %v", err)
+			return
+		}
+		target = l
+	} else {
+		key := adviseKey{version: st.version, seed: req.Seed, budget: s.opt.SolveBudget}
+		rec, _, err := s.advise(r.Context(), t, st, key)
+		if err != nil {
+			code := http.StatusInternalServerError
+			if errors.Is(err, ErrOverloaded) {
+				code = http.StatusServiceUnavailable
+			}
+			writeError(w, code, "advising for migration: %v", err)
+			return
+		}
+		target = rec.Final
+	}
+
+	plan, err := dblayout.MigrationPlan(st.problem, st.current, target)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "planning: %v", err)
+		return
+	}
+	if len(plan) == 0 {
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"tenant": t.id, "version": st.version, "moves": 0, "started": false,
+		})
+		return
+	}
+	scratch := migrate.AutoScratch(st.current, target, st.sizes, st.caps)
+	steps, err := migrate.BuildScript(st.current, plan, st.sizes, st.caps, scratch)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "building script: %v", err)
+		return
+	}
+
+	t.migMu.Lock()
+	defer t.migMu.Unlock()
+	if t.mig != nil && !t.mig.finished {
+		writeError(w, http.StatusConflict, "tenant %q already has a migration in flight", t.id)
+		return
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	mig, err := s.startMigration(t, st, steps, scratch, req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "starting migration: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"tenant": t.id, "version": st.version, "started": true,
+		"epoch": mig.epoch, "moves": len(steps),
+		"bytes": migrate.ScriptBytes(steps),
+	})
+}
+
+// startMigration opens (or extends) the tenant journal, journals the cplan,
+// builds the engine and launches the pump. Caller holds t.migMu.
+func (s *Server) startMigration(t *tenant, st *tenantState, steps []migrate.Step, scratch migrate.ScratchSpec, req migrateRequest) (*migration, error) {
+	path := s.journalPath(t.id)
+	fresh := false
+	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+		fresh = true
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if fresh {
+		// cbegin pins the journal's base layout: the current layout at
+		// journal creation. Every later epoch migrates from base plus the
+		// committed steps of the closed epochs before it.
+		if err := appendControl(f, control.Record{
+			T: "cbegin", N: len(st.names), M: len(st.caps),
+			Rows: layoutRows(st.current), Seed: req.Seed,
+		}); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	epoch := t.epoch + 1
+	if err := appendControl(f, control.Record{
+		T: "cplan", Epoch: epoch, Attempt: 1,
+		Steps: steps, Scratch: &scratch, Reason: "api",
+	}); err != nil {
+		f.Close()
+		return nil, err
+	}
+
+	mig := &migration{
+		epoch: epoch,
+		steps: steps,
+		sim:   control.NewSimIO(s.simDevices(st), 0),
+		file:  f,
+		stop:  make(chan struct{}),
+	}
+	engine, err := migrate.NewEngine(mig.sim, st.current, steps, s.migrateOptions(f, req), func(r *migrate.Result) {
+		mig.res = r
+	})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	mig.engine = engine
+	t.mig = mig
+	engine.Start()
+	s.wg.Add(1)
+	go s.pump(t, mig)
+	return mig, nil
+}
+
+func (s *Server) migrateOptions(journal io.Writer, req migrateRequest) migrate.Options {
+	opt := migrate.Options{
+		BytesPerSec:     req.BytesPerSec,
+		ChunkBytes:      req.ChunkBytes,
+		CheckpointBytes: req.CheckpointBytes,
+		SyncEvery:       req.SyncEvery,
+		MaxQueueShare:   1, // no foreground I/O in the daemon's simulation
+		Journal:         journal,
+	}
+	if opt.SyncEvery == 0 {
+		opt.SyncEvery = 8
+	}
+	return opt
+}
+
+// simDevices builds the simulated device table for a tenant's targets.
+func (s *Server) simDevices(st *tenantState) []control.SimDevice {
+	devs := make([]control.SimDevice, len(st.caps))
+	for j := range devs {
+		devs[j] = control.SimDevice{
+			Name:        st.problem.Targets[j].Name,
+			Capacity:    st.caps[j],
+			BytesPerSec: s.opt.SimBytesPerSec,
+			FailAt:      -1,
+		}
+	}
+	return devs
+}
+
+// pump advances one migration's simulated clock on a real-time tick until
+// the engine finishes or the server shuts down. Abandoning mid-flight is
+// deliberate crash semantics: the journal ends at a record boundary and the
+// next daemon start resumes from it.
+func (s *Server) pump(t *tenant, mig *migration) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-mig.stop:
+			mig.file.Close()
+			return
+		case <-s.ctx.Done():
+			mig.file.Close()
+			return
+		default:
+		}
+		t.migMu.Lock()
+		if mig.res == nil {
+			mig.sim.Advance(s.opt.SimStep)
+		}
+		done := mig.res != nil
+		if done {
+			s.finalizeMigration(t, mig)
+		}
+		t.migMu.Unlock()
+		if done {
+			if mig.res.Layout != nil {
+				s.installLayout(t, mig.res.Layout)
+			}
+			return
+		}
+		time.Sleep(s.opt.PumpInterval)
+	}
+}
+
+// finalizeMigration closes the epoch in the journal and the file. Caller
+// holds t.migMu.
+func (s *Server) finalizeMigration(t *tenant, mig *migration) {
+	res := mig.res
+	switch {
+	case res.Done:
+		if err := appendControl(mig.file, control.Record{
+			T: "coutcome", Epoch: mig.epoch, Outcome: "done",
+		}); err != nil {
+			mig.err = fmt.Sprintf("closing epoch: %v", err)
+		}
+	case res.Aborted:
+		// The daemon does not auto-retry: the abort is recorded terminal
+		// (coutcome aborted + cfail) and clients replan via /repair.
+		if err := appendControl(mig.file, control.Record{
+			T: "coutcome", Epoch: mig.epoch, Outcome: "aborted", Failed: res.FailedTargets,
+		}); err != nil {
+			mig.err = fmt.Sprintf("closing epoch: %v", err)
+		} else if err := appendControl(mig.file, control.Record{
+			T: "cfail", Cause: "api migration aborted; replan via /repair",
+		}); err != nil {
+			mig.err = fmt.Sprintf("closing epoch: %v", err)
+		}
+	case res.Crashed:
+		mig.err = fmt.Sprintf("journal write failed: %v", res.Err)
+	}
+	if res.Err != nil && mig.err == "" {
+		mig.err = res.Err.Error()
+	}
+	mig.file.Close()
+	mig.finished = true
+	t.epoch = mig.epoch
+	if s.log != nil {
+		s.log.Info("migration finished", "tenant", t.id, "epoch", mig.epoch,
+			"done", res.Done, "aborted", res.Aborted, "committed_bytes", res.CommittedBytes)
+	}
+}
+
+// installLayout swaps the tenant's state to one whose current layout is the
+// migration result. Takes t.mu (never while holding t.migMu).
+func (s *Server) installLayout(t *tenant, l *layout.Layout) {
+	st := t.snapshot()
+	if st == nil {
+		return
+	}
+	t.install(st.withLayout(l))
+}
+
+func (s *Server) handleMigration(w http.ResponseWriter, r *http.Request) {
+	t, st := s.snapshotFor(w, r)
+	if t == nil {
+		return
+	}
+	t.migMu.Lock()
+	defer t.migMu.Unlock()
+	if t.mig == nil {
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"tenant": t.id, "version": st.version, "active": false, "epochs": t.epoch,
+		})
+		return
+	}
+	mig := t.mig
+	res := mig.engine.Result()
+	total := migrate.ScriptBytes(mig.steps)
+	resp := map[string]interface{}{
+		"tenant": t.id, "version": st.version,
+		"active":          !mig.finished,
+		"epoch":           mig.epoch,
+		"epochs":          t.epoch,
+		"recovered":       mig.recovered,
+		"steps":           len(mig.steps),
+		"committed_steps": res.Committed,
+		"committed_bytes": res.CommittedBytes,
+		"total_bytes":     total,
+		"done":            res.Done,
+		"aborted":         res.Aborted,
+	}
+	if mig.err != "" {
+		resp["error"] = mig.err
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// appendControl journals one controller record, CRC-framed and fsynced —
+// every controller record is a commit point.
+func appendControl(w io.Writer, rec control.Record) error {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if err := wal.Append(w, body); err != nil {
+		return err
+	}
+	return wal.Sync(w)
+}
+
+// restore rebuilds every persisted tenant and resumes in-flight migrations
+// from their journals. Called from New before the server accepts requests.
+func (s *Server) restore() error {
+	entries, err := os.ReadDir(s.opt.DataDir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".problem.json") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".problem.json")
+		if !tenantID.MatchString(id) {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(s.opt.DataDir, name))
+		if err != nil {
+			return fmt.Errorf("tenant %s: %w", id, err)
+		}
+		t := newTenant(id)
+		st, err := t.buildState(s, raw)
+		if err != nil {
+			if s.log != nil {
+				s.log.Warn("skipping unloadable tenant", "tenant", id, "err", err)
+			}
+			continue
+		}
+		st = t.install(st)
+		s.tenants[id] = t
+		if err := s.recoverJournal(t, st); err != nil {
+			return fmt.Errorf("tenant %s: %w", id, err)
+		}
+	}
+	s.mTenants.Set(float64(len(s.tenants)))
+	return nil
+}
+
+// recoverJournal replays a tenant's migration journal: closed epochs roll
+// the current layout forward; an open epoch resumes its engine from the
+// recovered checkpoint, exactly once.
+func (s *Server) recoverJournal(t *tenant, st *tenantState) error {
+	path := s.journalPath(t.id)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	durable := control.TruncateTorn(data)
+	if len(durable) == 0 {
+		return os.Remove(path)
+	}
+	ck, err := control.Recover(durable)
+	if err != nil {
+		// A journal the daemon cannot trust is quarantined, not appended
+		// to: the tenant restarts from its problem document's layout.
+		if s.log != nil {
+			s.log.Warn("quarantining corrupt journal", "tenant", t.id, "err", err)
+		}
+		return os.Rename(path, path+".corrupt")
+	}
+	// Drop the torn tail from the file itself so appended records follow
+	// the last durable one.
+	if len(durable) != len(data) {
+		if err := os.Truncate(path, int64(len(durable))); err != nil {
+			return err
+		}
+	}
+	t.migMu.Lock()
+	defer t.migMu.Unlock()
+	t.epoch = ck.Epoch
+	current := ck.Current.Clone()
+
+	if ck.Open == nil {
+		if ck.NeedRetryDecision {
+			// The crash landed between the aborted outcome and its retry
+			// decision; record the terminal decision now (the daemon never
+			// auto-retries), keeping the journal grammar appendable.
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return err
+			}
+			err = appendControl(f, control.Record{T: "cfail", Cause: "abort recovered at restart; replan via /repair"})
+			f.Close()
+			if err != nil {
+				return err
+			}
+		}
+		s.installRecovered(t, st, current)
+		return nil
+	}
+
+	open := ck.Open
+	mck := open.Checkpoint
+	if mck != nil && (mck.Done || mck.Aborted) {
+		// The engine finished but the crash swallowed the coutcome: close
+		// the epoch without re-running anything.
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		outcome := "done"
+		if mck.Aborted {
+			outcome = "aborted"
+		}
+		err = appendControl(f, control.Record{
+			T: "coutcome", Epoch: open.Plan.Epoch, Outcome: outcome, Failed: mck.Failed,
+		})
+		if err == nil && mck.Aborted {
+			err = appendControl(f, control.Record{T: "cfail", Cause: "abort recovered at restart; replan via /repair"})
+		}
+		f.Close()
+		if err != nil {
+			return err
+		}
+		mck.ApplyCommitted(current)
+		t.epoch = open.Plan.Epoch
+		s.installRecovered(t, st, current)
+		return nil
+	}
+
+	// A genuinely in-flight epoch: resume its engine from the checkpoint
+	// and pump it to completion. NewEngine re-applies committed steps from
+	// the checkpoint itself, so `current` (base of the open epoch) is the
+	// right base layout.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	mig := &migration{
+		epoch:     open.Plan.Epoch,
+		steps:     open.Plan.Steps,
+		sim:       control.NewSimIO(s.simDevices(st), 0),
+		file:      f,
+		stop:      make(chan struct{}),
+		recovered: true,
+	}
+	opt := s.migrateOptions(f, migrateRequest{})
+	opt.Checkpoint = mck
+	if open.Plan.Scratch != nil {
+		opt.Scratch = *open.Plan.Scratch
+	}
+	engine, err := migrate.NewEngine(mig.sim, current, open.Plan.Steps, opt, func(r *migrate.Result) {
+		mig.res = r
+	})
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("resuming epoch %d: %w", open.Plan.Epoch, err)
+	}
+	mig.engine = engine
+	t.mig = mig
+	t.epoch = open.Plan.Epoch - 1 // finalize sets it to the epoch on close
+	s.installRecovered(t, st, current)
+	s.mRecovered.Inc()
+	if s.log != nil {
+		s.log.Info("resuming migration", "tenant", t.id, "epoch", open.Plan.Epoch,
+			"committed_steps", engine.Result().Committed)
+	}
+	engine.Start()
+	s.wg.Add(1)
+	go s.pump(t, mig)
+	return nil
+}
+
+// installRecovered swaps in the journal-recovered current layout when it
+// differs from the document's.
+func (s *Server) installRecovered(t *tenant, st *tenantState, current *layout.Layout) {
+	if layoutsEqual(st.current, current) {
+		return
+	}
+	t.install(st.withLayout(current))
+}
+
+func layoutsEqual(a, b *layout.Layout) bool {
+	if a.N != b.N || a.M != b.M {
+		return false
+	}
+	for i := 0; i < a.N; i++ {
+		for j := 0; j < a.M; j++ {
+			if a.At(i, j) != b.At(i, j) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -44,6 +44,24 @@ func Append(w io.Writer, body []byte) error {
 	return err
 }
 
+// Syncer is the optional durability surface of a journal sink. *os.File
+// implements it; in-memory buffers and test fakes may or may not.
+type Syncer interface {
+	Sync() error
+}
+
+// Sync flushes w to stable storage if it is sync-capable, and is a no-op
+// otherwise. Journal owners call it after appending a record whose
+// durability the protocol depends on ("journal before transition"): without
+// the fsync, a power loss can lose a record the OS had only buffered, even
+// though the append call succeeded.
+func Sync(w io.Writer) error {
+	if s, ok := w.(Syncer); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
 // Frames parses journal bytes into the sequence of record bodies. A torn
 // final line (no trailing newline) is ignored; any other malformation —
 // a bad checksum field, a checksum mismatch, a line too short to carry a
